@@ -1,0 +1,27 @@
+"""E2 — completeness: the honest prover convinces every node on every planar family."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import completeness_experiment
+from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+from repro.graphs.generators import random_planar_graph
+
+
+def test_completeness_table(benchmark):
+    """Regenerate the E2 acceptance table; benchmark one full prove+verify cycle."""
+    rows = completeness_experiment(n=48, trials_per_family=2)
+    emit(rows, "E2: acceptance rate of the honest prover per planar family")
+    assert all(row["acceptance_rate"] == 1.0 for row in rows)
+
+    graph = random_planar_graph(60, seed=5)
+    network = Network(graph, seed=5)
+    scheme = PlanarityScheme()
+
+    def prove_and_verify():
+        return run_verification(scheme, network, scheme.prove(network)).accepted
+
+    assert benchmark(prove_and_verify)

@@ -1,0 +1,42 @@
+"""E7 — Lemma 6: the glued bipartite instances for Forb(K_{p,q})."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.graphs.minors import verify_bipartite_minor_model
+from repro.graphs.validation import is_outerplanar
+from repro.lowerbound.bipartite_instances import (
+    bipartite_minor_model_in_glued,
+    build_glued_instance,
+    legal_instances_used_by_glued,
+    make_identifier_partition,
+)
+from repro.lowerbound.indistinguishability import illegal_views_covered_by_legal
+
+
+def test_glued_instance_experiment(benchmark):
+    """Legal instances are outerplanar, the glued instance has a K_{q,q} minor,
+    and its local views are covered by the legal instances."""
+
+    def build_and_check(n=36, q=3):
+        partition = make_identifier_partition(n=n, q=q)
+        legal = legal_instances_used_by_glued(partition)
+        glued = build_glued_instance(partition)
+        side_a, side_b = bipartite_minor_model_in_glued(partition)
+        labeling = {node: node for node in glued.nodes()}
+        covered, _ = illegal_views_covered_by_legal(glued, legal, labeling)
+        return {
+            "n_per_instance": n,
+            "q": q,
+            "legal_instances": len(legal),
+            "legal_all_outerplanar": all(is_outerplanar(instance) for instance in legal),
+            "glued_has_Kqq_minor": verify_bipartite_minor_model(glued, side_a, side_b),
+            "glued_views_covered": covered,
+        }
+
+    row = benchmark(build_and_check)
+    emit([row], "E7: Lemma 6 instances (legal outerplanar, glued contains K_{q,q})")
+    assert row["legal_all_outerplanar"]
+    assert row["glued_has_Kqq_minor"]
+    assert row["glued_views_covered"]

@@ -1,0 +1,50 @@
+"""E6 — Lemma 5: paths/cycles of blocks, the pigeonhole counting, and the splice."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import lower_bound_table, upper_vs_lower_bound_table
+from repro.graphs.minors import verify_clique_minor_model
+from repro.lowerbound.blocks import (
+    build_path_of_blocks,
+    clique_minor_model_in_cycle,
+    splice_cycle_from_paths,
+)
+from repro.lowerbound.indistinguishability import illegal_views_covered_by_legal
+
+
+def test_counting_table(benchmark):
+    """The pigeonhole curve: certificate bits needed vs instance size, for Forb(K5)."""
+    rows = lower_bound_table(k=5, p_values=[4, 8, 16, 32, 64, 128, 256])
+    emit(rows, "E6: Lemma 5 counting lower bound for Forb(K5)")
+    assert rows[-1]["lower_bound_bits"] >= rows[0]["lower_bound_bits"]
+
+    benchmark(lambda: lower_bound_table(k=5, p_values=[4, 8, 16, 32, 64, 128, 256]))
+
+
+def test_upper_vs_lower(benchmark):
+    """Theorem 1 upper bound plotted against the Theorem 2 lower bound."""
+    rows = benchmark(lambda: upper_vs_lower_bound_table(sizes=[24, 48, 96]))
+    emit(rows, "E6: measured upper bound vs counting lower bound")
+    assert all(row["upper_bound_max_bits"] >= row["lower_bound_bits"] for row in rows)
+
+
+def test_splice_indistinguishability(benchmark):
+    """The executable cut-and-paste: cycle views are covered by the two accepted paths."""
+    k, p = 5, 8
+    other = [1, 2, 4, 3, 6, 5, 8, 7]
+
+    def splice_and_check():
+        identity_path = build_path_of_blocks(k, p)
+        other_path = build_path_of_blocks(k, p, permutation=other)
+        cycle = splice_cycle_from_paths(k, p, other_permutation=other)
+        labeling = {node: node % (k - 1) for node in identity_path.graph.nodes()}
+        covered, _ = illegal_views_covered_by_legal(
+            cycle.graph, [identity_path.graph, other_path.graph], labeling)
+        model_ok = verify_clique_minor_model(cycle.graph, clique_minor_model_in_cycle(cycle))
+        return covered and model_ok
+
+    assert benchmark(splice_and_check)
+    emit([{"k": k, "p": p, "cycle_has_K5_minor": True, "views_covered": True}],
+         "E6: splice of Lemma 5 (illegal instance locally indistinguishable)")

@@ -1,0 +1,27 @@
+"""E9 — the auxiliary schemes: outerplanar-style inputs (Lemma 2) and Kuratowski non-planarity."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.experiments import auxiliary_schemes_experiment
+from repro.core.nonplanarity_scheme import NonPlanarityScheme
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+from repro.graphs.generators import planar_plus_random_edges
+
+
+def test_auxiliary_schemes_table(benchmark):
+    """Regenerate the E9 table; benchmark the non-planarity prover (Kuratowski extraction)."""
+    rows = auxiliary_schemes_experiment(n=64)
+    emit(rows, "E9: auxiliary schemes (Lemma 2 and Kuratowski non-planarity)")
+    assert all(row["accepted"] for row in rows)
+
+    graph = planar_plus_random_edges(40, extra_edges=1, seed=11)
+    scheme = NonPlanarityScheme()
+    network = Network(graph, seed=11)
+
+    def prove_and_verify():
+        return run_verification(scheme, network, scheme.prove(network)).accepted
+
+    assert benchmark(prove_and_verify)

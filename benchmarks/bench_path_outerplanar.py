@@ -1,0 +1,33 @@
+"""E4 — the Lemma 2 scheme (Algorithm 1) on path-outerplanar inputs."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.path_outerplanar import random_path_outerplanar_graph
+from repro.core.po_scheme import PathOuterplanarScheme
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+
+
+def test_path_outerplanar_scheme(benchmark):
+    """Certificate sizes and accept decisions of the Lemma 2 scheme across sizes."""
+    rows = []
+    for n in (32, 64, 128, 256):
+        graph, witness = random_path_outerplanar_graph(n, seed=n)
+        scheme = PathOuterplanarScheme(witness=witness)
+        network = Network(graph, seed=n)
+        result = run_verification(scheme, network, scheme.prove(network))
+        rows.append({"n": n, "max_bits": result.max_certificate_bits,
+                     "accepted": result.accepted})
+    emit(rows, "E4: path-outerplanarity PLS (Lemma 2)")
+    assert all(row["accepted"] for row in rows)
+
+    graph, witness = random_path_outerplanar_graph(256, seed=1)
+    scheme = PathOuterplanarScheme(witness=witness)
+    network = Network(graph, seed=1)
+
+    def prove_and_verify():
+        return run_verification(scheme, network, scheme.prove(network)).accepted
+
+    assert benchmark(prove_and_verify)

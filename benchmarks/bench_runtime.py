@@ -1,0 +1,38 @@
+"""E8 — prover and verifier runtime scaling of the Theorem 1 scheme."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.experiments import runtime_experiment
+from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+from repro.graphs.generators import delaunay_planar_graph, random_apollonian_network
+
+SCHEME = PlanarityScheme()
+
+
+def test_runtime_table(benchmark):
+    """Regenerate the runtime scaling table."""
+    rows = runtime_experiment(sizes=[50, 100, 200, 400])
+    emit(rows, "E8: prover / verifier wall-clock time vs n")
+    assert all(row["accepted"] for row in rows)
+    benchmark(lambda: runtime_experiment(sizes=[50]))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_prover_runtime(benchmark, n):
+    graph = random_apollonian_network(n, seed=n)
+    network = Network(graph, seed=n)
+    benchmark(lambda: SCHEME.prove(network))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_verifier_runtime(benchmark, n):
+    graph = delaunay_planar_graph(n, seed=n)
+    network = Network(graph, seed=n)
+    certificates = SCHEME.prove(network)
+    result = benchmark(lambda: run_verification(SCHEME, network, certificates))
+    assert result.accepted

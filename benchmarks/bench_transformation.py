@@ -1,0 +1,32 @@
+"""E10 — structural ablation of the Section 3.2 transformation (tree / root choices)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.dfs_mapping import cut_open
+from repro.core.path_outerplanar import is_path_outerplanar_witness
+from repro.graphs.generators import delaunay_planar_graph, random_apollonian_network
+from repro.graphs.spanning_tree import bfs_spanning_tree, dfs_spanning_tree
+
+
+def test_transformation_ablation(benchmark):
+    """G_{T,f} is path-outerplanar for every spanning-tree strategy and root choice."""
+    graph = random_apollonian_network(40, seed=21)
+    rows = []
+    for label, builder in (("bfs", bfs_spanning_tree), ("dfs", dfs_spanning_tree)):
+        for root in list(graph.nodes())[:4]:
+            decomposition = cut_open(graph, tree=builder(graph, root))
+            witness = list(range(1, decomposition.path_length + 1))
+            rows.append({
+                "tree": label,
+                "root": root,
+                "path_outerplanar": is_path_outerplanar_witness(
+                    decomposition.induced_graph(), witness),
+                "contracts_back": decomposition.contract_copies() == graph,
+            })
+    emit(rows, "E10: transformation ablation over spanning-tree and root choices")
+    assert all(row["path_outerplanar"] and row["contracts_back"] for row in rows)
+
+    big = delaunay_planar_graph(400, seed=22)
+    benchmark(lambda: cut_open(big).path_length)

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of the per-experiment index
+in ``DESIGN.md`` / ``EXPERIMENTS.md``: it prints the experiment's table (the
+"figure" of this reproduction) and uses ``pytest-benchmark`` to time the
+operation that the experiment stresses.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+
+def emit(rows, title: str) -> None:
+    """Print an experiment table (shown with ``-s``; captured otherwise)."""
+    print()
+    print(format_table(rows, title=title))

@@ -1,0 +1,97 @@
+"""Scenario: audit an overlay/sensor-network topology before running planar-only algorithms.
+
+The paper's motivation (Section 1): many fast distributed algorithms —
+constant-round dominating-set approximation, O(D)-round MST/min-cut — are
+correct only on planar networks, so running them on a non-planar network
+risks wrong outputs or non-termination.  The fix is to *certify* planarity
+once: the operator (or any node during a pre-processing phase) computes
+O(log n)-bit certificates; afterwards a single round of neighbor checks per
+epoch re-validates the topology, and any miswired link makes some node raise
+an alarm.
+
+This example simulates that workflow on a street-level wireless mesh
+(a Delaunay-like planar deployment) and on the same mesh after a "long link"
+is patched in by mistake, crossing several streets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import print_table
+from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+from repro.graphs.generators import delaunay_planar_graph
+from repro.graphs.planarity import is_planar
+
+
+def build_mesh(n: int = 80, seed: int = 7):
+    """A planar wireless mesh: Delaunay graph of random street-corner positions."""
+    return delaunay_planar_graph(n, seed=seed)
+
+
+def audit(graph, label: str, seed: int = 7) -> dict:
+    """Certify the topology if possible; otherwise report which routers complain."""
+    network = Network(graph, seed=seed)
+    scheme = PlanarityScheme()
+    row = {"topology": label, "n": network.size, "m": graph.number_of_edges()}
+    if is_planar(graph):
+        certificates = scheme.prove(network)
+        result = run_verification(scheme, network, certificates)
+        row.update({
+            "planar": True,
+            "certified": result.accepted,
+            "max_certificate_bits": result.max_certificate_bits,
+            "alarms": len(result.rejecting_nodes),
+        })
+    else:
+        # the operator cannot produce valid certificates; the best it can do is
+        # replay the certificates of the last known-good (planar) configuration
+        twin = graph.copy()
+        rng = random.Random(seed)
+        edges = list(twin.edges())
+        rng.shuffle(edges)
+        for u, v in edges:
+            if is_planar(twin):
+                break
+            twin.remove_edge(u, v)
+            if not twin.is_connected():
+                twin.add_edge(u, v)
+        donor = Network(twin, ids={node: network.id_of(node) for node in twin.nodes()})
+        stale_certificates = scheme.prove(donor)
+        result = run_verification(scheme, network, stale_certificates)
+        row.update({
+            "planar": False,
+            "certified": result.accepted,
+            "max_certificate_bits": result.max_certificate_bits,
+            "alarms": len(result.rejecting_nodes),
+        })
+    return row
+
+
+def main() -> None:
+    mesh = build_mesh()
+    rows = [audit(mesh, "street mesh (as deployed)")]
+
+    # a maintenance error patches in a long link that crosses the mesh
+    miswired = mesh.copy()
+    nodes = sorted(miswired.nodes())
+    added = 0
+    rng = random.Random(3)
+    while added < 3:
+        u, v = rng.sample(nodes, 2)
+        if not miswired.has_edge(u, v):
+            miswired.add_edge(u, v)
+            added += 1
+    rows.append(audit(miswired, "street mesh + 3 miswired long links"))
+
+    print_table(rows, title="Overlay topology audit (planarity certification)")
+    print()
+    print("Interpretation: the deployed mesh is certified with a few hundred bits")
+    print("per router; after the miswiring, certification is impossible and the")
+    print("stale certificates trigger alarms at the routers adjacent to the fault.")
+
+
+if __name__ == "__main__":
+    main()

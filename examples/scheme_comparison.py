@@ -1,0 +1,37 @@
+"""Compare every certification mechanism on the same network (experiment E5).
+
+Reproduces the comparison the paper makes in its introduction: the Theorem 1
+proof-labeling scheme needs a single prover interaction, no randomness, and
+O(log n)-bit certificates; the previous dMAM protocol of Naor–Parter–Yogev
+needs three interactions and randomness for the same certificate size; the
+folklore universal scheme needs Theta(n log n) bits; and non-planarity has
+its own compact folklore scheme.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import certificate_size_scaling, certificate_size_fit
+from repro.analysis.tables import print_table
+from repro.baselines.comparison import compare_schemes_on
+from repro.graphs.generators import planar_plus_random_edges, random_apollonian_network
+
+
+def main() -> None:
+    planar = random_apollonian_network(60, seed=11)
+    nonplanar = planar_plus_random_edges(60, extra_edges=2, seed=11)
+
+    rows = [row.as_dict() for row in compare_schemes_on(planar, nonplanar, seed=11)]
+    print_table(rows, title="E5: certification mechanisms on the same 60-node network")
+    print()
+
+    scaling = certificate_size_scaling(sizes=[32, 64, 128, 256],
+                                       families=["apollonian", "grid"],
+                                       include_universal=True)
+    print_table(scaling, title="Certificate size scaling: Theorem 1 vs the universal map")
+    print()
+    print_table([certificate_size_fit(scaling)],
+                title="Fit of the Theorem 1 maximum certificate size against log2(n)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim so that ``pip install -e .`` works without network access.
+
+The actual project metadata lives in ``pyproject.toml``; this file only
+exists because the offline environment lacks the ``wheel`` package needed by
+the PEP 517 editable-install path.
+"""
+from setuptools import setup
+
+setup()

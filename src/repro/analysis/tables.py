@@ -1,0 +1,42 @@
+"""Plain-text table rendering for the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of homogeneous dictionaries as an aligned text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(_cell(row.get(column))))
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(header)
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(_cell(row.get(column)).ljust(widths[column])
+                                for column in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, title=title))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

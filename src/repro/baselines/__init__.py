@@ -1,0 +1,15 @@
+"""Baselines the paper compares against: the universal scheme and the dMAM protocol."""
+
+from repro.baselines.comparison import ComparisonRow, compare_schemes_on
+from repro.baselines.dmam import DMAMFirstMessage, DMAMSecondMessage, PlanarityDMAMProtocol
+from repro.baselines.universal import GraphMapCertificate, UniversalPlanarityScheme
+
+__all__ = [
+    "ComparisonRow",
+    "compare_schemes_on",
+    "DMAMFirstMessage",
+    "DMAMSecondMessage",
+    "PlanarityDMAMProtocol",
+    "GraphMapCertificate",
+    "UniversalPlanarityScheme",
+]

@@ -1,0 +1,109 @@
+"""Scheme comparison harness (experiment E5).
+
+Builds the table the paper's introduction argues about: for the same planar
+input, how many prover/verifier interactions, how much randomness, how many
+certificate bits, and what soundness error does each certification mechanism
+need?
+
+=====================  ============  ==========  ==================  ===============
+scheme                 interactions  randomized  certificate bits    soundness error
+=====================  ============  ==========  ==================  ===============
+Theorem 1 (this paper) 1             no          O(log n)            0
+dMAM baseline [38]     3             yes         O(log n)            O(m / 2^61)
+universal map          1             no          O(n log n)          0
+Kuratowski (non-plan.) 1             no          O(log n)            0
+=====================  ============  ==========  ==================  ===============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dmam import PlanarityDMAMProtocol
+from repro.baselines.universal import UniversalPlanarityScheme
+from repro.core.nonplanarity_scheme import NonPlanarityScheme
+from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.interactive import run_interactive_protocol
+from repro.distributed.network import Network
+from repro.distributed.verifier import run_verification
+from repro.graphs.graph import Graph
+
+__all__ = ["ComparisonRow", "compare_schemes_on"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the E5 comparison table."""
+
+    scheme: str
+    interactions: int
+    randomized: bool
+    verification_rounds: int
+    max_certificate_bits: int
+    accepted: bool
+    certifies: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the row as a plain dictionary (for table printers)."""
+        return {
+            "scheme": self.scheme,
+            "interactions": self.interactions,
+            "randomized": self.randomized,
+            "verification_rounds": self.verification_rounds,
+            "max_certificate_bits": self.max_certificate_bits,
+            "accepted": self.accepted,
+            "certifies": self.certifies,
+        }
+
+
+def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None,
+                       seed: int = 0) -> list[ComparisonRow]:
+    """Run every certification mechanism on the same inputs and collect the table.
+
+    The planarity mechanisms (Theorem 1, dMAM, universal) run on
+    ``planar_graph``; the Kuratowski scheme runs on ``nonplanar_graph`` when
+    provided (it certifies the complementary class).
+    """
+    rows: list[ComparisonRow] = []
+    network = Network(planar_graph, seed=seed)
+
+    for scheme in (PlanarityScheme(), UniversalPlanarityScheme()):
+        certificates = scheme.prove(network)
+        result = run_verification(scheme, network, certificates)
+        rows.append(ComparisonRow(
+            scheme=scheme.name,
+            interactions=scheme.interactions,
+            randomized=scheme.randomized,
+            verification_rounds=scheme.verification_radius,
+            max_certificate_bits=result.max_certificate_bits,
+            accepted=result.accepted,
+            certifies="planarity",
+        ))
+
+    protocol = PlanarityDMAMProtocol()
+    transcript = run_interactive_protocol(protocol, network, seed=seed)
+    rows.append(ComparisonRow(
+        scheme=protocol.name,
+        interactions=protocol.interactions,
+        randomized=protocol.randomized,
+        verification_rounds=1,
+        max_certificate_bits=transcript.max_certificate_bits,
+        accepted=transcript.accepted,
+        certifies="planarity",
+    ))
+
+    if nonplanar_graph is not None:
+        scheme = NonPlanarityScheme()
+        np_network = Network(nonplanar_graph, seed=seed)
+        certificates = scheme.prove(np_network)
+        result = run_verification(scheme, np_network, certificates)
+        rows.append(ComparisonRow(
+            scheme=scheme.name,
+            interactions=scheme.interactions,
+            randomized=scheme.randomized,
+            verification_rounds=scheme.verification_radius,
+            max_certificate_bits=result.max_certificate_bits,
+            accepted=result.accepted,
+            certifies="non-planarity",
+        ))
+    return rows

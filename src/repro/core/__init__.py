@@ -1,0 +1,56 @@
+"""Core package: the paper's certification schemes and constructions.
+
+* :mod:`repro.core.building_blocks` — spanning-tree / Hamiltonian-path
+  certification ingredients (Section 2);
+* :mod:`repro.core.path_outerplanar` — Definition 1, witnesses, intervals;
+* :mod:`repro.core.po_scheme` — Lemma 2 / Algorithm 1 (path-outerplanarity PLS);
+* :mod:`repro.core.dfs_mapping` — Lemmas 3-4 (cutting a planar graph open
+  along a spanning tree);
+* :mod:`repro.core.planarity_scheme` — Theorem 1 / Algorithm 2 (planarity PLS);
+* :mod:`repro.core.nonplanarity_scheme` — the folklore Kuratowski scheme.
+"""
+
+from repro.core.building_blocks import (
+    HamiltonianPathLabel,
+    PathGraphScheme,
+    SpanningTreeLabel,
+    TreeScheme,
+)
+from repro.core.path_outerplanar import (
+    compute_covering_intervals,
+    find_path_outerplanar_witness,
+    is_path_outerplanar_witness,
+    random_path_outerplanar_graph,
+)
+from repro.core.po_scheme import PathOuterplanarLabel, PathOuterplanarScheme, algorithm1_check
+from repro.core.dfs_mapping import DFSMapping, PlanarCutDecomposition, cut_open
+from repro.core.planarity_scheme import (
+    CotreeEdgeCertificate,
+    PlanarityCertificate,
+    PlanarityScheme,
+    TreeEdgeCertificate,
+)
+from repro.core.nonplanarity_scheme import NonPlanarityCertificate, NonPlanarityScheme
+
+__all__ = [
+    "HamiltonianPathLabel",
+    "SpanningTreeLabel",
+    "PathGraphScheme",
+    "TreeScheme",
+    "compute_covering_intervals",
+    "find_path_outerplanar_witness",
+    "is_path_outerplanar_witness",
+    "random_path_outerplanar_graph",
+    "PathOuterplanarLabel",
+    "PathOuterplanarScheme",
+    "algorithm1_check",
+    "DFSMapping",
+    "PlanarCutDecomposition",
+    "cut_open",
+    "PlanarityCertificate",
+    "PlanarityScheme",
+    "TreeEdgeCertificate",
+    "CotreeEdgeCertificate",
+    "NonPlanarityCertificate",
+    "NonPlanarityScheme",
+]

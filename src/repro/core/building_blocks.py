@@ -1,0 +1,272 @@
+"""Certification building blocks: spanning trees and Hamiltonian path orders.
+
+Section 2 of the paper recalls the standard proof-labeling-scheme ingredients
+that the planarity scheme reuses: certifying a spanning tree (root
+identifier, parent pointer, distance, and a subtree counter to certify the
+number of nodes), and certifying that a rank assignment forms a spanning
+(Hamiltonian) path.  This module implements those ingredients as reusable
+label dataclasses plus the corresponding local checks, and exposes two
+classic standalone schemes built from them:
+
+* :class:`PathGraphScheme` — the warm-up example of Section 2 (the class of
+  path graphs);
+* :class:`TreeScheme` — the class of trees, certified by making every edge a
+  tree edge of a certified spanning tree.
+
+Both are exercised by the test-suite independently of the planarity scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.certificates import BitWriter, Encodable
+from repro.distributed.network import LocalView, Network
+from repro.distributed.scheme import ProofLabelingScheme
+from repro.exceptions import NotInClassError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.spanning_tree import RootedTree, bfs_spanning_tree
+from repro.graphs.validation import is_path_graph
+
+__all__ = [
+    "HamiltonianPathLabel",
+    "SpanningTreeLabel",
+    "check_hamiltonian_path_label",
+    "check_spanning_tree_label",
+    "hamiltonian_path_labels",
+    "spanning_tree_labels",
+    "PathGraphScheme",
+    "TreeScheme",
+]
+
+
+# ----------------------------------------------------------------------
+# Hamiltonian path certification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HamiltonianPathLabel(Encodable):
+    """Certificate fields proving that the ranks form a spanning path.
+
+    ``total`` is the claimed number of nodes, ``rank`` the position of this
+    node in the path (1-based), ``root_id`` the identifier of the rank-1
+    node, and ``parent_id`` the identifier of the neighbor with rank one
+    less (``None`` exactly at rank 1).  Every field is ``O(log n)`` bits.
+    """
+
+    total: int
+    rank: int
+    root_id: int
+    parent_id: int | None
+
+    def encode(self, writer: BitWriter) -> None:
+        writer.write_uint(self.total)
+        writer.write_uint(self.rank)
+        writer.write_uint(self.root_id)
+        writer.write_optional_uint(self.parent_id)
+
+
+def check_hamiltonian_path_label(own_id: int, own: HamiltonianPathLabel | None,
+                                 neighbor_labels: dict[int, HamiltonianPathLabel | None],
+                                 ) -> bool:
+    """Local verification of the Hamiltonian-path labels at one node.
+
+    Soundness (together with the connectivity assumption of the model): if
+    every node accepts, the rank-1 node is unique because its identifier must
+    equal the common ``root_id``; by induction on the rank, each rank class
+    has exactly one node because a rank-``r`` node accepts only when it has
+    exactly one neighbor claiming it as parent (with rank ``r + 1``);
+    finally every rank in ``1..total`` must be realised, so ``total`` equals
+    the true number of nodes and consecutive ranks are adjacent.
+    """
+    if own is None:
+        return False
+    if not 1 <= own.rank <= own.total:
+        return False
+    for label in neighbor_labels.values():
+        if label is None:
+            return False
+        if label.total != own.total or label.root_id != own.root_id:
+            return False
+    if own.rank == 1:
+        if own_id != own.root_id or own.parent_id is not None:
+            return False
+    else:
+        if own.parent_id is None or own.parent_id not in neighbor_labels:
+            return False
+        parent = neighbor_labels[own.parent_id]
+        if parent is None or parent.rank != own.rank - 1:
+            return False
+    children = [nid for nid, label in neighbor_labels.items()
+                if label is not None and label.parent_id == own_id]
+    if own.rank < own.total:
+        if len(children) != 1:
+            return False
+        child = neighbor_labels[children[0]]
+        if child is None or child.rank != own.rank + 1:
+            return False
+    else:
+        if children:
+            return False
+    return True
+
+
+def hamiltonian_path_labels(network: Network, order: list[Node]) -> dict[Node, HamiltonianPathLabel]:
+    """Honest prover: build the Hamiltonian-path labels for a witness ``order``."""
+    n = len(order)
+    root_id = network.id_of(order[0])
+    labels: dict[Node, HamiltonianPathLabel] = {}
+    for index, node in enumerate(order):
+        parent_id = network.id_of(order[index - 1]) if index > 0 else None
+        labels[node] = HamiltonianPathLabel(total=n, rank=index + 1,
+                                            root_id=root_id, parent_id=parent_id)
+    return labels
+
+
+# ----------------------------------------------------------------------
+# spanning tree certification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanningTreeLabel(Encodable):
+    """Certificate fields proving a spanning tree (and thus the node count).
+
+    The subtree counter is what upgrades the classic (root, parent, distance)
+    triple into a proof that ``total`` equals the actual number of nodes.
+    """
+
+    total: int
+    root_id: int
+    parent_id: int | None
+    distance: int
+    subtree_size: int
+
+    def encode(self, writer: BitWriter) -> None:
+        writer.write_uint(self.total)
+        writer.write_uint(self.root_id)
+        writer.write_optional_uint(self.parent_id)
+        writer.write_uint(self.distance)
+        writer.write_uint(self.subtree_size)
+
+
+def check_spanning_tree_label(own_id: int, own: SpanningTreeLabel | None,
+                              neighbor_labels: dict[int, SpanningTreeLabel | None]) -> bool:
+    """Local verification of the spanning-tree labels at one node."""
+    if own is None:
+        return False
+    for label in neighbor_labels.values():
+        if label is None:
+            return False
+        if label.total != own.total or label.root_id != own.root_id:
+            return False
+    if own_id == own.root_id:
+        if own.parent_id is not None or own.distance != 0:
+            return False
+        if own.subtree_size != own.total:
+            return False
+    else:
+        if own.parent_id is None or own.parent_id not in neighbor_labels:
+            return False
+        parent = neighbor_labels[own.parent_id]
+        if parent is None or parent.distance != own.distance - 1:
+            return False
+    children = [label for nid, label in neighbor_labels.items()
+                if label is not None and label.parent_id == own_id]
+    if own.subtree_size != 1 + sum(child.subtree_size for child in children):
+        return False
+    return True
+
+
+def spanning_tree_labels(network: Network, tree: RootedTree) -> dict[Node, SpanningTreeLabel]:
+    """Honest prover: build the spanning-tree labels for ``tree``."""
+    sizes = tree.subtree_sizes()
+    total = network.size
+    root_id = network.id_of(tree.root)
+    labels: dict[Node, SpanningTreeLabel] = {}
+    for node in tree.nodes():
+        parent = tree.parent(node)
+        labels[node] = SpanningTreeLabel(
+            total=total,
+            root_id=root_id,
+            parent_id=None if parent is None else network.id_of(parent),
+            distance=tree.depth(node),
+            subtree_size=sizes[node],
+        )
+    return labels
+
+
+# ----------------------------------------------------------------------
+# standalone schemes built from the blocks
+# ----------------------------------------------------------------------
+class PathGraphScheme(ProofLabelingScheme):
+    """The warm-up scheme of Section 2: certify that the network is a path."""
+
+    name = "path-graph-pls"
+
+    def is_member(self, graph: Graph) -> bool:
+        return is_path_graph(graph)
+
+    def prove(self, network: Network) -> dict[Node, HamiltonianPathLabel]:
+        graph = network.graph
+        if not self.is_member(graph):
+            raise NotInClassError("the network is not a path")
+        if graph.number_of_nodes() == 1:
+            node = next(iter(graph.nodes()))
+            return {node: HamiltonianPathLabel(total=1, rank=1,
+                                               root_id=network.id_of(node), parent_id=None)}
+        endpoints = [node for node in graph.nodes() if graph.degree(node) == 1]
+        order = [endpoints[0]]
+        previous = None
+        while len(order) < graph.number_of_nodes():
+            nxt = [v for v in graph.neighbors(order[-1]) if v != previous]
+            previous = order[-1]
+            order.append(nxt[0])
+        return hamiltonian_path_labels(network, order)
+
+    def verify(self, view: LocalView) -> bool:
+        if view.degree > 2:
+            return False
+        neighbor_labels = {nid: view.neighbor_certificate(nid) for nid in view.neighbor_ids}
+        own = view.certificate
+        if not check_hamiltonian_path_label(view.center_id, own, neighbor_labels):
+            return False
+        # every incident edge must be a path edge: consecutive ranks only
+        # (this is what separates "is a path" from "has a spanning path",
+        # e.g. it makes the verifier reject a cycle carrying path labels)
+        for label in neighbor_labels.values():
+            if label is None or abs(label.rank - own.rank) != 1:
+                return False
+        return True
+
+
+class TreeScheme(ProofLabelingScheme):
+    """Certify that the network is a tree (connected and acyclic).
+
+    Every node checks the spanning-tree labels and additionally that each of
+    its incident edges is a tree edge (the neighbor is its parent or claims
+    it as parent); if all nodes accept, the graph equals its spanning tree.
+    """
+
+    name = "tree-pls"
+
+    def is_member(self, graph: Graph) -> bool:
+        return graph.is_connected() and graph.number_of_edges() == graph.number_of_nodes() - 1
+
+    def prove(self, network: Network) -> dict[Node, SpanningTreeLabel]:
+        if not self.is_member(network.graph):
+            raise NotInClassError("the network is not a tree")
+        root = next(iter(network.graph.nodes()))
+        tree = bfs_spanning_tree(network.graph, root)
+        return spanning_tree_labels(network, tree)
+
+    def verify(self, view: LocalView) -> bool:
+        own = view.certificate
+        neighbor_labels = {nid: view.neighbor_certificate(nid) for nid in view.neighbor_ids}
+        if not check_spanning_tree_label(view.center_id, own, neighbor_labels):
+            return False
+        for nid, label in neighbor_labels.items():
+            if label is None:
+                return False
+            is_parent_edge = own.parent_id == nid
+            is_child_edge = label.parent_id == view.center_id
+            if not (is_parent_edge or is_child_edge):
+                return False
+        return True

@@ -1,0 +1,46 @@
+"""Distributed-verification substrate: networks, views, schemes, simulators."""
+
+from repro.distributed.certificates import BitReader, BitWriter, Encodable, encoded_size_bits
+from repro.distributed.network import LocalView, Network
+from repro.distributed.scheme import ProofLabelingScheme, SchemeDescription
+from repro.distributed.verifier import (
+    VerificationResult,
+    certify_and_verify,
+    completeness_holds,
+    run_verification,
+)
+from repro.distributed.congest import SynchronousSimulator
+from repro.distributed.interactive import (
+    InteractiveProtocol,
+    InteractiveTranscript,
+    run_interactive_protocol,
+)
+from repro.distributed.adversary import (
+    AttackResult,
+    exhaustive_attack,
+    random_certificate_attack,
+    transplant_attack,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Encodable",
+    "encoded_size_bits",
+    "LocalView",
+    "Network",
+    "ProofLabelingScheme",
+    "SchemeDescription",
+    "VerificationResult",
+    "certify_and_verify",
+    "completeness_holds",
+    "run_verification",
+    "SynchronousSimulator",
+    "InteractiveProtocol",
+    "InteractiveTranscript",
+    "run_interactive_protocol",
+    "AttackResult",
+    "exhaustive_attack",
+    "random_certificate_attack",
+    "transplant_attack",
+]

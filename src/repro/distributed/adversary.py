@@ -1,0 +1,148 @@
+"""Adversarial provers used in the soundness experiments (E3).
+
+Soundness of a proof-labeling scheme is a universally quantified statement —
+*no* certificate assignment makes every node of a *no*-instance accept — so
+it cannot be checked exhaustively on large graphs.  The experiments attack
+the verifier in three complementary ways:
+
+* :func:`random_certificate_attack` — throw structured-but-random
+  certificates at the verifier (cheap, many trials, large graphs);
+* :func:`transplant_attack` — take *honest* certificates computed on a planar
+  graph that shares most of the structure of the no-instance and transplant
+  them (this is the strongest practical attack: every local view that also
+  occurs in the planar twin will accept);
+* :func:`exhaustive_attack` — enumerate every assignment from a bounded
+  certificate universe on a tiny graph, establishing soundness exactly for
+  that universe.
+
+Each attack returns the best (most-accepting) assignment found and the number
+of nodes it convinced; a sound scheme never reaches "all nodes accept".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.distributed.network import Network
+from repro.distributed.scheme import ProofLabelingScheme
+from repro.distributed.verifier import run_verification
+from repro.graphs.graph import Node
+
+__all__ = [
+    "AttackResult",
+    "random_certificate_attack",
+    "transplant_attack",
+    "exhaustive_attack",
+]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of an adversarial-prover attack against one network."""
+
+    scheme_name: str
+    attack_name: str
+    trials: int
+    best_accepting_nodes: int
+    total_nodes: int
+    fooled: bool
+
+    def summary(self) -> dict[str, Any]:
+        """Return a table row for the soundness experiment."""
+        return {
+            "scheme": self.scheme_name,
+            "attack": self.attack_name,
+            "trials": self.trials,
+            "best_accepting_nodes": self.best_accepting_nodes,
+            "total_nodes": self.total_nodes,
+            "fooled": self.fooled,
+        }
+
+
+def _evaluate(scheme: ProofLabelingScheme, network: Network,
+              certificates: dict[Node, Any]) -> int:
+    result = run_verification(scheme, network, certificates)
+    return sum(1 for accepted in result.decisions.values() if accepted)
+
+
+def random_certificate_attack(scheme: ProofLabelingScheme, network: Network,
+                              certificate_factory: Callable[[random.Random, Network, Node], Any],
+                              trials: int = 50, seed: int | None = None) -> AttackResult:
+    """Attack with randomly generated certificates from ``certificate_factory``."""
+    rng = random.Random(seed)
+    best = 0
+    n = network.size
+    for _ in range(trials):
+        certificates = {node: certificate_factory(rng, network, node)
+                        for node in network.nodes()}
+        best = max(best, _evaluate(scheme, network, certificates))
+        if best == n:
+            break
+    return AttackResult(scheme_name=scheme.name, attack_name="random",
+                        trials=trials, best_accepting_nodes=best,
+                        total_nodes=n, fooled=best == n)
+
+
+def transplant_attack(scheme: ProofLabelingScheme, network: Network,
+                      donor_certificates: dict[Node, Any],
+                      mutate: Callable[[random.Random, Any], Any] | None = None,
+                      trials: int = 20, seed: int | None = None) -> AttackResult:
+    """Attack by transplanting honest certificates from a related *yes*-instance.
+
+    ``donor_certificates`` must be keyed by the nodes of ``network`` (callers
+    typically compute honest certificates on a planar graph sharing the node
+    set, e.g. the same graph with the offending edge removed).  Optionally a
+    ``mutate`` function perturbs the transplanted certificates between trials.
+    """
+    rng = random.Random(seed)
+    n = network.size
+    certificates = {node: donor_certificates.get(node) for node in network.nodes()}
+    best = _evaluate(scheme, network, certificates)
+    performed = 1
+    if mutate is not None:
+        for _ in range(trials - 1):
+            mutated = {node: mutate(rng, cert) for node, cert in certificates.items()}
+            best = max(best, _evaluate(scheme, network, mutated))
+            performed += 1
+            if best == n:
+                break
+    return AttackResult(scheme_name=scheme.name, attack_name="transplant",
+                        trials=performed, best_accepting_nodes=best,
+                        total_nodes=n, fooled=best == n)
+
+
+def exhaustive_attack(scheme: ProofLabelingScheme, network: Network,
+                      certificate_universe: Sequence[Any],
+                      max_assignments: int = 2_000_000) -> AttackResult:
+    """Try *every* assignment of certificates from a finite universe.
+
+    The number of assignments is ``len(universe) ** n``; callers must keep
+    both small.  This gives an exact soundness statement restricted to the
+    given universe (used on graphs with <= 5 nodes in the tests).
+    """
+    nodes = list(network.nodes())
+    n = len(nodes)
+    total = len(certificate_universe) ** n
+    if total > max_assignments:
+        raise ValueError(
+            f"exhaustive attack would need {total} assignments (> {max_assignments})")
+    best = 0
+    count = 0
+    for combo in itertools.product(certificate_universe, repeat=n):
+        count += 1
+        certificates = dict(zip(nodes, combo))
+        best = max(best, _evaluate(scheme, network, certificates))
+        if best == n:
+            break
+    return AttackResult(scheme_name=scheme.name, attack_name="exhaustive",
+                        trials=count, best_accepting_nodes=best,
+                        total_nodes=n, fooled=best == n)
+
+
+def attack_summary_rows(results: Iterable[AttackResult]) -> list[dict[str, Any]]:
+    """Return the table rows of a collection of attack results."""
+    return [result.summary() for result in results]

@@ -1,0 +1,146 @@
+"""A synchronous message-passing simulator with CONGEST-style accounting.
+
+The paper's schemes only need a single verification round, but the library
+also contains multi-round components (the dMAM baseline, the t-round variants
+of the lower bounds), so we provide a small synchronous engine: in every
+round each node reads the messages delivered in the previous round, updates
+its state, and emits at most one message per incident edge.  The engine
+records the size in bits of every message so experiments can report the
+maximum per-edge load, which is the CONGEST complexity measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.distributed.certificates import encoded_size_bits
+from repro.distributed.network import Network
+from repro.exceptions import ProtocolError
+from repro.graphs.graph import Node
+
+__all__ = ["NodeProcess", "RoundResult", "SynchronousSimulator"]
+
+
+@dataclass
+class RoundResult:
+    """Statistics of one synchronous round."""
+
+    round_index: int
+    messages_sent: int
+    max_message_bits: int
+    total_message_bits: int
+
+
+@dataclass
+class NodeProcess:
+    """State container for one node participating in a synchronous execution."""
+
+    node: Node
+    identifier: int
+    neighbor_ids: list[int]
+    state: dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+    output: Any = None
+
+    def halt(self, output: Any = None) -> None:
+        """Stop participating and record the final output."""
+        self.halted = True
+        self.output = output
+
+
+# A node algorithm receives (process, inbox) where inbox maps the sender's
+# identifier to the message, and returns an outbox mapping neighbor ids to
+# messages (messages to non-neighbors raise).
+NodeAlgorithm = Callable[[NodeProcess, dict[int, Any]], dict[int, Any]]
+
+
+class SynchronousSimulator:
+    """Round-synchronous execution of one algorithm on every node of a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.processes: dict[Node, NodeProcess] = {
+            node: NodeProcess(node=node,
+                              identifier=network.id_of(node),
+                              neighbor_ids=network.neighbor_ids(node))
+            for node in network.nodes()
+        }
+        self.round_results: list[RoundResult] = []
+        self._pending: dict[Node, dict[int, Any]] = {node: {} for node in network.nodes()}
+
+    # ------------------------------------------------------------------
+    def run(self, algorithm: NodeAlgorithm, max_rounds: int = 1000) -> list[RoundResult]:
+        """Run ``algorithm`` at every node until all halt or ``max_rounds`` is hit."""
+        for round_index in range(max_rounds):
+            if all(process.halted for process in self.processes.values()):
+                break
+            self._run_round(algorithm, round_index)
+        else:
+            if not all(process.halted for process in self.processes.values()):
+                raise ProtocolError(f"simulation did not terminate within {max_rounds} rounds")
+        return self.round_results
+
+    def _run_round(self, algorithm: NodeAlgorithm, round_index: int) -> None:
+        outboxes: dict[Node, dict[int, Any]] = {}
+        for node, process in self.processes.items():
+            if process.halted:
+                continue
+            inbox = self._pending[node]
+            outbox = algorithm(process, inbox) or {}
+            allowed = set(process.neighbor_ids)
+            for target in outbox:
+                if target not in allowed:
+                    raise ProtocolError(
+                        f"node {process.identifier} attempted to message non-neighbor {target}")
+            outboxes[node] = outbox
+        # deliver
+        self._pending = {node: {} for node in self.network.nodes()}
+        sizes: list[int] = []
+        count = 0
+        for node, outbox in outboxes.items():
+            sender_id = self.processes[node].identifier
+            for target_id, message in outbox.items():
+                target_node = self.network.node_of(target_id)
+                self._pending[target_node][sender_id] = message
+                sizes.append(_message_bits(message))
+                count += 1
+        self.round_results.append(RoundResult(
+            round_index=round_index,
+            messages_sent=count,
+            max_message_bits=max(sizes, default=0),
+            total_message_bits=sum(sizes),
+        ))
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_used(self) -> int:
+        """Return the number of rounds that actually ran."""
+        return len(self.round_results)
+
+    @property
+    def max_message_bits(self) -> int:
+        """Return the largest single message observed (CONGEST bandwidth)."""
+        return max((result.max_message_bits for result in self.round_results), default=0)
+
+    def outputs(self) -> dict[Node, Any]:
+        """Return the final output of every node."""
+        return {node: process.output for node, process in self.processes.items()}
+
+
+def _message_bits(message: Any) -> int:
+    """Best-effort size accounting for ad-hoc message payloads."""
+    if message is None or isinstance(message, (bool, int)):
+        return encoded_size_bits(message)
+    try:
+        return encoded_size_bits(message)
+    except Exception:
+        if isinstance(message, (tuple, list)):
+            return sum(_message_bits(item) for item in message)
+        if isinstance(message, dict):
+            return sum(_message_bits(key) + _message_bits(value)
+                       for key, value in message.items())
+        if isinstance(message, str):
+            return 8 * len(message.encode("utf-8"))
+        raise

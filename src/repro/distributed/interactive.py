@@ -1,0 +1,130 @@
+"""Distributed interactive proofs (dMA / dMAM protocols).
+
+The baseline the paper improves on is the dMAM protocol of Naor, Parter, and
+Yogev (SODA 2020): Merlin assigns certificates, every node's Arthur draws a
+random challenge, Merlin answers with a second certificate, and only then do
+the nodes run one round of local verification.  This module provides the
+protocol *framework* — turn structure, randomness handling, message-size and
+interaction accounting — while the concrete planarity protocol lives in
+:mod:`repro.baselines.dmam`.
+
+The interaction count follows the convention of the paper's introduction:
+``dM`` (= PLS / LCP) has one interaction, ``dMA`` two, ``dMAM`` three.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.distributed.certificates import encoded_size_bits
+from repro.distributed.network import LocalView, Network
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["InteractiveProtocol", "InteractiveTranscript", "run_interactive_protocol"]
+
+
+@dataclass
+class InteractiveTranscript:
+    """Full record of one execution of a distributed interactive protocol."""
+
+    protocol_name: str
+    interactions: int
+    first_certificates: dict[Node, Any] = field(default_factory=dict)
+    challenges: dict[Node, int] = field(default_factory=dict)
+    second_certificates: dict[Node, Any] = field(default_factory=dict)
+    decisions: dict[Node, bool] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        """Global decision (conjunction over the nodes)."""
+        return all(self.decisions.values())
+
+    @property
+    def max_certificate_bits(self) -> int:
+        """Largest message sent by Merlin to any single node over both turns."""
+        sizes = [encoded_size_bits(cert) for cert in self.first_certificates.values()]
+        sizes += [encoded_size_bits(cert) for cert in self.second_certificates.values()]
+        return max(sizes, default=0)
+
+    @property
+    def total_prover_bits(self) -> int:
+        """Total number of bits sent by Merlin."""
+        return (sum(encoded_size_bits(c) for c in self.first_certificates.values())
+                + sum(encoded_size_bits(c) for c in self.second_certificates.values()))
+
+
+class InteractiveProtocol(ABC):
+    """A dMAM-style protocol: Merlin, Arthur's coin flips, Merlin, local check."""
+
+    name: str = "abstract-interactive-protocol"
+    interactions: int = 3
+    randomized: bool = True
+    #: number of bits of randomness each node draws for its challenge
+    challenge_bits: int = 32
+
+    @abstractmethod
+    def is_member(self, graph: Graph) -> bool:
+        """Ground-truth membership predicate."""
+
+    @abstractmethod
+    def merlin_first(self, network: Network) -> dict[Node, Any]:
+        """First Merlin message (certificate per node)."""
+
+    @abstractmethod
+    def merlin_second(self, network: Network, first: dict[Node, Any],
+                      challenges: dict[Node, int]) -> dict[Node, Any]:
+        """Second Merlin message, after seeing the challenges."""
+
+    @abstractmethod
+    def verify(self, view: LocalView, challenge: int,
+               neighbor_challenges: dict[int, int]) -> bool:
+        """Final local verification at one node.
+
+        ``view.certificate`` and ``view.certificates`` contain *pairs*
+        ``(first, second)`` of Merlin messages; the node also sees its own
+        challenge and the challenges of its neighbors (they were broadcast
+        during the Arthur turn).
+        """
+
+    # ------------------------------------------------------------------
+    def draw_challenges(self, network: Network, rng: random.Random) -> dict[Node, int]:
+        """Arthur's turn: every node draws a private random challenge."""
+        return {node: rng.getrandbits(self.challenge_bits) for node in network.nodes()}
+
+
+def run_interactive_protocol(protocol: InteractiveProtocol, network: Network,
+                             seed: int | None = None,
+                             dishonest_second: dict[Node, Any] | None = None,
+                             dishonest_first: dict[Node, Any] | None = None,
+                             ) -> InteractiveTranscript:
+    """Execute a dMAM protocol end to end and return the transcript.
+
+    ``dishonest_first`` / ``dishonest_second`` allow tests to replace
+    Merlin's messages with adversarial ones (soundness experiments).
+    """
+    rng = random.Random(seed)
+    first = dishonest_first if dishonest_first is not None else protocol.merlin_first(network)
+    challenges = protocol.draw_challenges(network, rng)
+    if dishonest_second is not None:
+        second = dishonest_second
+    else:
+        second = protocol.merlin_second(network, first, challenges)
+
+    paired = {node: (first.get(node), second.get(node)) for node in network.nodes()}
+    decisions: dict[Node, bool] = {}
+    for node in network.nodes():
+        view = network.local_view(node, paired, radius=1)
+        neighbor_challenges = {network.id_of(neighbor): challenges[neighbor]
+                               for neighbor in network.graph.neighbors(node)}
+        decisions[node] = bool(protocol.verify(view, challenges[node], neighbor_challenges))
+    return InteractiveTranscript(
+        protocol_name=protocol.name,
+        interactions=protocol.interactions,
+        first_certificates=first,
+        challenges=challenges,
+        second_certificates=second,
+        decisions=decisions,
+    )

@@ -1,0 +1,191 @@
+"""Combinatorial (rotation-system) planar embeddings.
+
+A *rotation system* assigns to every node the cyclic order of its incident
+edges.  A rotation system describes an embedding of the graph on an oriented
+surface; it describes a *planar* embedding exactly when the number of faces
+it induces satisfies Euler's formula ``n - m + f = 2`` (for a connected
+graph).  The planarity prover of the paper (Section 3.2) only needs this
+combinatorial data — no coordinates — which is why the whole pipeline is
+phrased in terms of :class:`RotationSystem`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import EmbeddingError
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["RotationSystem"]
+
+
+class RotationSystem:
+    """Cyclic orderings of neighbors around every node of a graph.
+
+    Parameters
+    ----------
+    rotations:
+        Mapping ``node -> sequence of neighbors`` in cyclic order.  The
+        orientation convention (clockwise vs counterclockwise) is irrelevant
+        as long as it is globally consistent; a mirrored rotation system is
+        still a planar embedding of the same graph.
+    """
+
+    def __init__(self, rotations: dict[Node, Sequence[Node]]) -> None:
+        self._rotation: dict[Node, list[Node]] = {
+            node: list(neighbors) for node, neighbors in rotations.items()
+        }
+        self._index: dict[Node, dict[Node, int]] = {}
+        for node, neighbors in self._rotation.items():
+            if len(set(neighbors)) != len(neighbors):
+                raise EmbeddingError(f"rotation around {node!r} repeats a neighbor")
+            self._index[node] = {nb: i for i, nb in enumerate(neighbors)}
+        self._validate_symmetry()
+
+    def _validate_symmetry(self) -> None:
+        for node, neighbors in self._rotation.items():
+            for neighbor in neighbors:
+                if neighbor not in self._rotation:
+                    raise EmbeddingError(
+                        f"{neighbor!r} appears in the rotation of {node!r} but has no rotation")
+                if node not in self._index[neighbor]:
+                    raise EmbeddingError(
+                        f"edge ({node!r}, {neighbor!r}) is not symmetric in the rotation system")
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterable[Node]:
+        """Iterate over the nodes of the embedding."""
+        return iter(self._rotation)
+
+    def rotation(self, node: Node) -> list[Node]:
+        """Return the cyclic neighbor order around ``node`` (a copy)."""
+        if node not in self._rotation:
+            raise EmbeddingError(f"node {node!r} has no rotation")
+        return list(self._rotation[node])
+
+    def degree(self, node: Node) -> int:
+        """Return the number of edges incident to ``node``."""
+        return len(self._rotation[node])
+
+    def next_neighbor(self, node: Node, neighbor: Node, step: int = 1) -> Node:
+        """Return the neighbor ``step`` positions after ``neighbor`` around ``node``."""
+        order = self._rotation[node]
+        position = self._index[node].get(neighbor)
+        if position is None:
+            raise EmbeddingError(f"{neighbor!r} is not adjacent to {node!r}")
+        return order[(position + step) % len(order)]
+
+    def rotation_from(self, node: Node, start: Node) -> list[Node]:
+        """Return the rotation around ``node`` starting at ``start``."""
+        order = self._rotation[node]
+        position = self._index[node].get(start)
+        if position is None:
+            raise EmbeddingError(f"{start!r} is not adjacent to {node!r}")
+        return order[position:] + order[:position]
+
+    def number_of_edges(self) -> int:
+        """Return the number of undirected edges of the embedded graph."""
+        return sum(len(order) for order in self._rotation.values()) // 2
+
+    def to_graph(self) -> Graph:
+        """Return the underlying (unembedded) graph."""
+        graph = Graph(nodes=self._rotation.keys())
+        for node, neighbors in self._rotation.items():
+            for neighbor in neighbors:
+                graph.add_edge(node, neighbor)
+        return graph
+
+    def mirrored(self) -> "RotationSystem":
+        """Return the mirror embedding (every rotation reversed)."""
+        return RotationSystem({node: list(reversed(order))
+                               for node, order in self._rotation.items()})
+
+    # ------------------------------------------------------------------
+    # faces and planarity
+    # ------------------------------------------------------------------
+    def faces(self) -> list[list[tuple[Node, Node]]]:
+        """Trace the faces induced by the rotation system.
+
+        Each face is returned as the cyclic list of directed edges on its
+        boundary.  The face-tracing rule is the standard one: after entering
+        ``v`` through the directed edge ``(u, v)``, leave through the edge
+        ``(v, w)`` where ``w`` is the neighbor *preceding* ``u`` in the
+        rotation around ``v``.  (Using the successor instead would trace the
+        faces of the mirrored embedding; both conventions give the same face
+        count.)
+        """
+        unused: set[tuple[Node, Node]] = set()
+        for node, neighbors in self._rotation.items():
+            for neighbor in neighbors:
+                unused.add((node, neighbor))
+        faces: list[list[tuple[Node, Node]]] = []
+        while unused:
+            start = next(iter(unused))
+            face = []
+            edge = start
+            while True:
+                face.append(edge)
+                unused.discard(edge)
+                u, v = edge
+                w = self.next_neighbor(v, u, step=-1)
+                edge = (v, w)
+                if edge == start:
+                    break
+            faces.append(face)
+        return faces
+
+    def number_of_faces(self) -> int:
+        """Return the number of faces induced by the rotation system."""
+        return len(self.faces())
+
+    def is_planar_embedding(self) -> bool:
+        """Check Euler's formula ``n - m + f = 2`` for the embedded (connected) graph."""
+        graph = self.to_graph()
+        if graph.number_of_nodes() == 0:
+            return True
+        if not graph.is_connected():
+            raise EmbeddingError("Euler-formula check requires a connected graph")
+        n = graph.number_of_nodes()
+        m = graph.number_of_edges()
+        if m == 0:
+            return True
+        return n - m + self.number_of_faces() == 2
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx_embedding(cls, embedding: object) -> "RotationSystem":
+        """Build a rotation system from a :class:`networkx.PlanarEmbedding`."""
+        rotations: dict[Node, list[Node]] = {}
+        for node in embedding.nodes():  # type: ignore[attr-defined]
+            rotations[node] = list(embedding.neighbors_cw_order(node))  # type: ignore[attr-defined]
+        return cls(rotations)
+
+    @classmethod
+    def from_positions(cls, graph: Graph,
+                       positions: dict[Node, tuple[float, float]]) -> "RotationSystem":
+        """Build a rotation system by sorting neighbors by angle around each node.
+
+        ``positions`` must describe a straight-line plane drawing; when the
+        drawing is crossing-free the resulting rotation system is a planar
+        embedding.
+        """
+        rotations: dict[Node, list[Node]] = {}
+        for node in graph.nodes():
+            x0, y0 = positions[node]
+
+            def angle(neighbor: Node) -> float:
+                x1, y1 = positions[neighbor]
+                return math.atan2(y1 - y0, x1 - x0)
+
+            rotations[node] = sorted(graph.neighbors(node), key=angle)
+        return cls(rotations)
+
+    @classmethod
+    def trivial(cls, graph: Graph) -> "RotationSystem":
+        """Build an arbitrary (not necessarily planar) rotation system for ``graph``."""
+        return cls({node: sorted(graph.neighbors(node), key=repr) for node in graph.nodes()})

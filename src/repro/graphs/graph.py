@@ -1,0 +1,255 @@
+"""A small, explicit undirected-graph data structure.
+
+The distributed-certification algorithms in this library only need simple
+connected graphs with distinct node identifiers, so instead of pulling a
+heavyweight dependency into the core data path we implement a compact
+adjacency-set structure here.  Conversion helpers to and from
+:mod:`networkx` are provided because the test-suite cross-validates our
+planarity code against the networkx implementation.
+
+Nodes can be arbitrary hashable objects; in the distributed model each node
+additionally carries an integer *identifier* (see
+:class:`repro.distributed.network.Network`), but the plain graph layer does
+not require it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.exceptions import GraphError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["Graph", "Node", "Edge", "edge_key"]
+
+
+def edge_key(u: Node, v: Node) -> tuple[Node, Node]:
+    """Return a canonical, order-independent key for the edge ``{u, v}``.
+
+    The two endpoints are sorted by ``repr`` so that heterogeneous node types
+    still produce a deterministic key.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """A simple undirected graph backed by adjacency sets.
+
+    The structure intentionally rejects self-loops and parallel edges: the
+    paper's model (Section 2) works with simple graphs, noting that loops and
+    multi-edges do not affect planarity.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.nodes())
+    [1, 2, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    def __init__(self, edges: Iterable[Edge] | None = None,
+                 nodes: Iterable[Node] | None = None) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` (a no-op when already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert the undirected edge ``{u, v}``, adding endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge of ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``; raise :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the nodes (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: set[tuple[Node, Node]] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """Return the neighbor set of ``node`` (a copy)."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} is not in the graph")
+        return len(self._adj[node])
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the edge ``{u, v}`` is in the graph."""
+        return u in self._adj and v in self._adj[u]
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|``."""
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Graph(n={self.number_of_nodes()}, "
+                f"m={self.number_of_edges()})")
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep structural copy of the graph."""
+        clone = Graph()
+        for node, neighbors in self._adj.items():
+            clone._adj[node] = set(neighbors)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes``."""
+        keep = set(nodes)
+        sub = Graph(nodes=keep & set(self._adj))
+        for u in sub.nodes():
+            for v in self._adj[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def is_connected(self) -> bool:
+        """Return whether the graph is connected (the empty graph is not)."""
+        if not self._adj:
+            return False
+        return len(self.connected_component(next(iter(self._adj)))) == len(self._adj)
+
+    def connected_component(self, start: Node) -> set[Node]:
+        """Return the set of nodes reachable from ``start``."""
+        if start not in self._adj:
+            raise GraphError(f"node {start!r} is not in the graph")
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in self._adj[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def connected_components(self) -> list[set[Node]]:
+        """Return all connected components as a list of node sets."""
+        remaining = set(self._adj)
+        components = []
+        while remaining:
+            component = self.connected_component(next(iter(remaining)))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "Graph":
+        """Return a copy with nodes renamed through ``mapping``.
+
+        Nodes absent from ``mapping`` keep their name.  The mapping must be
+        injective on the node set, otherwise edges would silently merge.
+        """
+        new_names = [mapping.get(node, node) for node in self._adj]
+        if len(set(new_names)) != len(new_names):
+            raise GraphError("relabeling mapping is not injective on the node set")
+        clone = Graph(nodes=new_names)
+        for u, v in self.edges():
+            clone.add_edge(mapping.get(u, u), mapping.get(v, v))
+        return clone
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> Any:
+        """Return an equivalent :class:`networkx.Graph`."""
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_nodes_from(self.nodes())
+        nxg.add_edges_from(self.edges())
+        return nxg
+
+    @classmethod
+    def from_networkx(cls, nxg: Any) -> "Graph":
+        """Build a :class:`Graph` from a :class:`networkx.Graph`."""
+        graph = cls(nodes=nxg.nodes())
+        graph.add_edges_from(nxg.edges())
+        return graph
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an edge list."""
+        return cls(edges=edges)

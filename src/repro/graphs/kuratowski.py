@@ -1,0 +1,107 @@
+"""Extraction of Kuratowski obstructions (subdivisions of ``K5`` / ``K3,3``).
+
+Kuratowski's theorem states that a graph is planar if and only if it contains
+no subdivision of ``K5`` or ``K3,3``.  The folklore proof-labeling scheme for
+*non*-planarity (Section 2 of the paper) certifies the presence of such a
+subdivision, so the honest prover of
+:class:`repro.core.nonplanarity_scheme.NonPlanarityScheme` needs to extract
+one.  We do this by computing an edge-minimal non-planar subgraph: removing
+any further edge would make it planar, and a classical argument shows such a
+subgraph is exactly a Kuratowski subdivision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.planarity import is_planar
+
+__all__ = ["KuratowskiSubdivision", "find_kuratowski_subdivision"]
+
+
+@dataclass(frozen=True)
+class KuratowskiSubdivision:
+    """A subdivision of ``K5`` or ``K3,3`` found inside a host graph.
+
+    Attributes
+    ----------
+    kind:
+        Either ``"K5"`` or ``"K3,3"``.
+    branch_vertices:
+        The vertices of degree >= 3 in the subdivision (5 for ``K5``, 6 for
+        ``K3,3``).
+    subgraph:
+        The subdivision itself (a subgraph of the host graph).
+    """
+
+    kind: str
+    branch_vertices: tuple[Node, ...]
+    subgraph: Graph
+
+    def paths(self) -> list[list[Node]]:
+        """Return the subdivided edges as vertex paths between branch vertices."""
+        branch = set(self.branch_vertices)
+        paths: list[list[Node]] = []
+        seen_edges: set[frozenset[Node]] = set()
+        for start in self.branch_vertices:
+            for neighbor in self.subgraph.neighbors(start):
+                if frozenset((start, neighbor)) in seen_edges:
+                    continue
+                path = [start, neighbor]
+                seen_edges.add(frozenset((start, neighbor)))
+                while path[-1] not in branch:
+                    current = path[-1]
+                    options = [x for x in self.subgraph.neighbors(current) if x != path[-2]]
+                    if len(options) != 1:
+                        raise GraphError("subdivision path is not a simple chain")
+                    path.append(options[0])
+                    seen_edges.add(frozenset((current, options[0])))
+                paths.append(path)
+        return paths
+
+
+def _classify(subgraph: Graph) -> tuple[str, tuple[Node, ...]]:
+    branch = sorted((node for node in subgraph.nodes() if subgraph.degree(node) >= 3), key=repr)
+    degrees = sorted(subgraph.degree(node) for node in branch)
+    if len(branch) == 5 and degrees == [4, 4, 4, 4, 4]:
+        return "K5", tuple(branch)
+    if len(branch) == 6 and degrees == [3, 3, 3, 3, 3, 3]:
+        return "K3,3", tuple(branch)
+    raise GraphError(
+        f"edge-minimal non-planar subgraph has unexpected branch structure: {degrees}")
+
+
+def find_kuratowski_subdivision(graph: Graph, backend: str = "networkx") -> KuratowskiSubdivision:
+    """Return a Kuratowski subdivision contained in a non-planar graph.
+
+    The subgraph is obtained by greedily deleting edges whose removal keeps
+    the graph non-planar, then stripping vertices of degree < 2.  The
+    remaining graph is an edge-minimal non-planar graph, i.e. a subdivision
+    of ``K5`` or ``K3,3``.
+
+    Raises
+    ------
+    GraphError
+        If ``graph`` is planar.
+    """
+    if is_planar(graph, backend=backend):
+        raise GraphError("graph is planar; it contains no Kuratowski subdivision")
+    core = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for u, v in list(core.edges()):
+            core.remove_edge(u, v)
+            if is_planar(core, backend=backend):
+                core.add_edge(u, v)
+            else:
+                changed = True
+        # strip vertices that can no longer be part of the subdivision
+        for node in list(core.nodes()):
+            if core.degree(node) < 2:
+                core.remove_node(node)
+                changed = True
+    kind, branch = _classify(core)
+    return KuratowskiSubdivision(kind=kind, branch_vertices=branch, subgraph=core)

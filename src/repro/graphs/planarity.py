@@ -1,0 +1,103 @@
+"""Planarity testing and planar-embedding computation.
+
+The honest prover of Theorem 1 needs a combinatorial planar embedding
+(rotation system) of the input graph.  This module provides:
+
+* fast necessary conditions (edge-count bounds) that reject dense graphs
+  without running a full test,
+* a full planarity test / embedding computation behind a small backend
+  abstraction.  The provided backend (``"networkx"``) runs the left-right
+  planarity algorithm; its output is converted into our own
+  :class:`~repro.graphs.embedding.RotationSystem` and re-validated against
+  Euler's formula (an independent check implemented in this package) before
+  being handed to callers, so a faulty embedding can never silently reach
+  the prover.  Additional backends can be registered by extending
+  ``_BACKENDS`` and ``_embedding_or_none``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EmbeddingError, NotPlanarError
+from repro.graphs.embedding import RotationSystem
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "planarity_upper_edge_bound",
+    "passes_edge_count_bound",
+    "is_planar",
+    "compute_planar_embedding",
+    "DEFAULT_BACKEND",
+]
+
+DEFAULT_BACKEND = "networkx"
+_BACKENDS = ("networkx",)
+
+
+def planarity_upper_edge_bound(n: int) -> int:
+    """Return the maximum number of edges of a simple planar graph on ``n`` nodes.
+
+    ``3n - 6`` for ``n >= 3``; smaller graphs are trivially planar.
+    """
+    if n < 3:
+        return n * (n - 1) // 2
+    return 3 * n - 6
+
+
+def passes_edge_count_bound(graph: Graph) -> bool:
+    """Return ``False`` when the graph has too many edges to be planar."""
+    return graph.number_of_edges() <= planarity_upper_edge_bound(graph.number_of_nodes())
+
+
+def _networkx_embedding(graph: Graph) -> RotationSystem | None:
+    import networkx as nx
+
+    planar, embedding = nx.check_planarity(graph.to_networkx(), counterexample=False)
+    if not planar:
+        return None
+    rotation = RotationSystem.from_networkx_embedding(embedding)
+    # networkx omits isolated nodes from some embedding views; re-add them.
+    for node in graph.nodes():
+        if node not in set(rotation.nodes()):
+            rotation = RotationSystem(
+                {**{v: rotation.rotation(v) for v in rotation.nodes()}, node: []})
+    return rotation
+
+
+def is_planar(graph: Graph, backend: str = DEFAULT_BACKEND) -> bool:
+    """Return whether ``graph`` is planar."""
+    if graph.number_of_nodes() <= 4:
+        return True
+    if not passes_edge_count_bound(graph):
+        return False
+    return _embedding_or_none(graph, backend) is not None
+
+
+def _embedding_or_none(graph: Graph, backend: str) -> RotationSystem | None:
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown planarity backend {backend!r}; choose from {_BACKENDS}")
+    return _networkx_embedding(graph)
+
+
+def compute_planar_embedding(graph: Graph, backend: str = DEFAULT_BACKEND) -> RotationSystem:
+    """Return a planar rotation system of ``graph``.
+
+    Raises
+    ------
+    NotPlanarError
+        If the graph is not planar.
+    EmbeddingError
+        If the backend produced an embedding that fails the Euler-formula
+        validation (this would indicate a backend bug and is always checked).
+    """
+    if not passes_edge_count_bound(graph):
+        raise NotPlanarError(
+            f"graph with n={graph.number_of_nodes()} and m={graph.number_of_edges()} "
+            "violates the planar edge bound 3n - 6")
+    rotation = _embedding_or_none(graph, backend)
+    if rotation is None:
+        raise NotPlanarError("graph is not planar")
+    if graph.number_of_nodes() > 0 and graph.is_connected():
+        if not rotation.is_planar_embedding():
+            raise EmbeddingError(
+                f"backend {backend!r} returned a rotation system that fails Euler's formula")
+    return rotation

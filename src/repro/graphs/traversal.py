@@ -1,0 +1,156 @@
+"""Graph traversals used throughout the library.
+
+The planarity proof-labeling scheme of the paper is built around a specific
+depth-first traversal of a spanning tree (the *DFS-mapping* of Section 3.2),
+but the substrate also needs ordinary BFS/DFS traversals for spanning-tree
+construction, connectivity checks, and the lower-bound constructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, Node
+
+__all__ = [
+    "bfs_order",
+    "bfs_parents",
+    "dfs_order",
+    "dfs_parents",
+    "dfs_preorder_with_children_order",
+    "shortest_path_lengths",
+]
+
+
+def _check_start(graph: Graph, start: Node) -> None:
+    if not graph.has_node(start):
+        raise GraphError(f"start node {start!r} is not in the graph")
+
+
+def bfs_order(graph: Graph, start: Node) -> list[Node]:
+    """Return the breadth-first visiting order from ``start``."""
+    _check_start(graph, start)
+    order = [start]
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in sorted(graph.neighbors(node), key=repr):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def bfs_parents(graph: Graph, start: Node) -> dict[Node, Node | None]:
+    """Return the BFS parent of every reachable node (``None`` for ``start``)."""
+    _check_start(graph, start)
+    parents: dict[Node, Node | None] = {start: None}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in sorted(graph.neighbors(node), key=repr):
+            if neighbor not in parents:
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def dfs_order(graph: Graph, start: Node) -> list[Node]:
+    """Return an iterative depth-first preorder from ``start``."""
+    _check_start(graph, start)
+    order: list[Node] = []
+    seen: set[Node] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        for neighbor in sorted(graph.neighbors(node), key=repr, reverse=True):
+            if neighbor not in seen:
+                stack.append(neighbor)
+    return order
+
+
+def dfs_parents(graph: Graph, start: Node) -> dict[Node, Node | None]:
+    """Return the DFS parent of every reachable node (``None`` for ``start``)."""
+    _check_start(graph, start)
+    parents: dict[Node, Node | None] = {start: None}
+    stack: list[tuple[Node, Node | None]] = [(start, None)]
+    seen: set[Node] = set()
+    while stack:
+        node, parent = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        parents[node] = parent
+        for neighbor in sorted(graph.neighbors(node), key=repr, reverse=True):
+            if neighbor not in seen:
+                stack.append((neighbor, node))
+    return parents
+
+
+def dfs_preorder_with_children_order(
+    graph: Graph,
+    start: Node,
+    child_order: Callable[[Node, Node | None, Iterable[Node]], list[Node]] | None = None,
+) -> tuple[list[Node], dict[Node, Node | None]]:
+    """DFS preorder where the visiting order of children is customisable.
+
+    ``child_order(node, parent, unvisited_neighbors)`` must return the
+    neighbors of ``node`` in the order in which the traversal should descend
+    into them.  This hook is what lets the DFS-mapping construction of the
+    paper descend into children following a planar rotation system.
+
+    Returns ``(preorder, parents)``.
+    """
+    _check_start(graph, start)
+    if child_order is None:
+        def child_order(node: Node, parent: Node | None,
+                        candidates: Iterable[Node]) -> list[Node]:
+            return sorted(candidates, key=repr)
+
+    preorder: list[Node] = []
+    parents: dict[Node, Node | None] = {start: None}
+    seen: set[Node] = set()
+
+    def visit(node: Node, parent: Node | None) -> None:
+        seen.add(node)
+        preorder.append(node)
+        candidates = [nb for nb in graph.neighbors(node) if nb not in seen]
+        for child in child_order(node, parent, candidates):
+            if child not in seen:
+                parents[child] = node
+                visit(child, node)
+
+    # an explicit stack is avoided for readability; recursion depth equals the
+    # tree depth, so callers handling very deep graphs should raise the
+    # interpreter recursion limit (done by the spanning-tree helpers).
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 2 * graph.number_of_nodes() + 1000))
+    try:
+        visit(start, None)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return preorder, parents
+
+
+def shortest_path_lengths(graph: Graph, start: Node) -> dict[Node, int]:
+    """Return the hop distance from ``start`` to every reachable node."""
+    _check_start(graph, start)
+    dist = {start: 0}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist

@@ -1,0 +1,73 @@
+"""Local-view indistinguishability checks used by the lower-bound experiments.
+
+Both lower-bound proofs (Lemmas 5 and 6) end with the same move: an illegal
+instance is assembled out of pieces of accepted legal instances so that the
+radius-1 view of every node of the illegal instance — its identifier, its
+certificate, and the identifiers and certificates of its neighbors — already
+occurs in one of the legal instances, where the (deterministic) verifier
+accepted it.  The verifier must therefore accept the illegal instance too.
+
+This module turns "has the same view" into an executable predicate.  Nodes
+are identified by their identifiers (the lower-bound constructions use the
+identifiers directly as node names), and certificates are modelled as an
+arbitrary labeling keyed by identifier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["ViewSignature", "view_signature", "all_views", "illegal_views_covered_by_legal"]
+
+
+@dataclass(frozen=True)
+class ViewSignature:
+    """Canonical form of a radius-1 view (identifier, label, labelled neighborhood)."""
+
+    center: Node
+    center_label: object
+    neighborhood: tuple[tuple[Node, object], ...]
+
+
+def view_signature(graph: Graph, node: Node,
+                   labeling: Mapping[Node, object] | None = None) -> ViewSignature:
+    """Return the canonical radius-1 view of ``node`` in ``graph``.
+
+    ``labeling`` maps node (identifier) to certificate; missing entries are
+    treated as ``None`` (no certificate).
+    """
+    labeling = labeling or {}
+    neighborhood = tuple(sorted(
+        ((neighbor, labeling.get(neighbor)) for neighbor in graph.neighbors(node)),
+        key=lambda item: repr(item[0]),
+    ))
+    return ViewSignature(center=node, center_label=labeling.get(node),
+                         neighborhood=neighborhood)
+
+
+def all_views(graph: Graph, labeling: Mapping[Node, object] | None = None) -> set[ViewSignature]:
+    """Return the set of radius-1 views of every node of ``graph``."""
+    return {view_signature(graph, node, labeling) for node in graph.nodes()}
+
+
+def illegal_views_covered_by_legal(illegal: Graph, legal_instances: Sequence[Graph],
+                                   labeling: Mapping[Node, object] | None = None,
+                                   ) -> tuple[bool, list[Node]]:
+    """Check the cut-and-paste property of the lower-bound proofs.
+
+    Returns ``(covered, uncovered_nodes)`` where ``covered`` is ``True`` when
+    every node of the ``illegal`` instance has a view (under ``labeling``)
+    identical to the view of the *same identifier* in at least one of the
+    ``legal_instances``.  When that holds, any deterministic local verifier
+    that accepts all the legal instances under ``labeling`` must also accept
+    the illegal one — the contradiction at the heart of Theorem 2.
+    """
+    legal_views: set[ViewSignature] = set()
+    for legal in legal_instances:
+        legal_views |= all_views(legal, labeling)
+    uncovered = [node for node in illegal.nodes()
+                 if view_signature(illegal, node, labeling) not in legal_views]
+    return (not uncovered, uncovered)

@@ -1,0 +1,174 @@
+"""Tests of the core Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+        assert list(graph.edges()) == []
+
+    def test_add_nodes_and_edges(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_node(10)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 3)
+
+    def test_from_edges_and_nodes(self):
+        graph = Graph(edges=[(0, 1), (1, 2)], nodes=[5])
+        assert graph.has_node(5)
+        assert graph.degree(1) == 2
+
+    def test_self_loop_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        graph = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert graph.number_of_edges() == 1
+
+    def test_add_node_idempotent(self):
+        graph = Graph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.number_of_nodes() == 1
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        graph = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert graph.degree(1) == 3
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.neighbors(2) == {1}
+
+    def test_unknown_node_raises(self):
+        graph = Graph(edges=[(1, 2)])
+        with pytest.raises(GraphError):
+            graph.neighbors(42)
+        with pytest.raises(GraphError):
+            graph.degree(42)
+
+    def test_len_contains_iter(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        assert len(graph) == 3
+        assert 1 in graph and 9 not in graph
+        assert set(iter(graph)) == {1, 2, 3}
+
+    def test_edges_reported_once(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        assert len(list(graph.edges())) == 3
+
+    def test_equality(self):
+        first = Graph(edges=[(1, 2), (2, 3)])
+        second = Graph(edges=[(2, 3), (1, 2)])
+        assert first == second
+        second.add_edge(1, 3)
+        assert first != second
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_node(1)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(edges=[(1, 2)])
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_node(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+        with pytest.raises(GraphError):
+            graph.remove_node(2)
+
+    def test_copy_is_independent(self):
+        graph = Graph(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_node(3)
+        assert clone.has_edge(2, 3)
+
+
+class TestStructure:
+    def test_subgraph(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 4), (1, 4)])
+        sub = graph.subgraph({1, 2, 3})
+        assert sub.number_of_nodes() == 3
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(1, 4)
+
+    def test_connectivity(self):
+        graph = Graph(edges=[(1, 2), (3, 4)])
+        assert not graph.is_connected()
+        assert graph.connected_component(1) == {1, 2}
+        assert len(graph.connected_components()) == 2
+        graph.add_edge(2, 3)
+        assert graph.is_connected()
+
+    def test_empty_graph_not_connected(self):
+        assert not Graph().is_connected()
+
+    def test_relabeled(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        renamed = graph.relabeled({1: "a", 2: "b", 3: "c"})
+        assert renamed.has_edge("a", "b")
+        assert renamed.number_of_edges() == 2
+
+    def test_relabeled_rejects_collisions(self):
+        graph = Graph(edges=[(1, 2), (2, 3)])
+        with pytest.raises(GraphError):
+            graph.relabeled({1: "x", 2: "x"})
+
+    def test_networkx_round_trip(self):
+        graph = Graph(edges=[(1, 2), (2, 3), (3, 1)])
+        assert Graph.from_networkx(graph.to_networkx()) == graph
+
+    def test_edge_key_is_order_independent(self):
+        assert edge_key(3, 1) == edge_key(1, 3)
+        assert edge_key("b", "a") == edge_key("a", "b")
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80))
+def test_edge_count_matches_adjacency(pairs):
+    """Property: |E| equals the number of distinct unordered pairs inserted."""
+    graph = Graph()
+    expected = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        graph.add_edge(u, v)
+        expected.add(edge_key(u, v))
+    assert graph.number_of_edges() == len(expected)
+    assert set(graph.edges()) == expected
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+def test_relabel_preserves_degree_sequence(pairs):
+    """Property: shifting all labels preserves the degree multiset."""
+    graph = Graph()
+    for u, v in pairs:
+        if u != v:
+            graph.add_edge(u, v)
+    mapping = {node: node + 100 for node in graph.nodes()}
+    renamed = graph.relabeled(mapping)
+    original = sorted(graph.degree(node) for node in graph.nodes())
+    shifted = sorted(renamed.degree(node) for node in renamed.nodes())
+    assert original == shifted

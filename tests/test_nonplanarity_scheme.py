@@ -1,0 +1,142 @@
+"""Tests for the folklore Kuratowski-based non-planarity scheme."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.nonplanarity_scheme import (
+    KIND_K5,
+    KIND_K33,
+    NonPlanarityCertificate,
+    NonPlanarityScheme,
+    SubdivisionRole,
+)
+from repro.distributed.network import Network
+from repro.distributed.verifier import certify_and_verify, run_verification
+from repro.exceptions import NotInClassError
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    grid_graph,
+    k5_subdivision,
+    petersen_graph,
+    random_apollonian_network,
+)
+
+
+class TestCompleteness:
+    def test_all_nonplanar_instances_accepted(self, nonplanar_case):
+        name, graph = nonplanar_case
+        result = certify_and_verify(NonPlanarityScheme(), graph, seed=3)
+        assert result.accepted, name
+
+    def test_prover_refuses_planar_inputs(self, planar_case):
+        name, graph = planar_case
+        with pytest.raises(NotInClassError):
+            certify_and_verify(NonPlanarityScheme(), graph, seed=1)
+
+    def test_certificate_kinds(self):
+        scheme = NonPlanarityScheme()
+        network = Network(complete_graph(5), seed=1)
+        assert all(cert.kind == KIND_K5 for cert in scheme.prove(network).values())
+        network = Network(complete_bipartite_graph(3, 3), seed=1)
+        assert all(cert.kind == KIND_K33 for cert in scheme.prove(network).values())
+
+    def test_certificate_sizes_logarithmic(self):
+        graph = k5_subdivision(4)
+        result = certify_and_verify(NonPlanarityScheme(), graph, seed=2)
+        assert result.accepted
+        assert result.max_certificate_bits < 600
+
+    def test_is_member(self):
+        scheme = NonPlanarityScheme()
+        assert scheme.is_member(petersen_graph())
+        assert not scheme.is_member(grid_graph(3, 3))
+
+
+class TestSoundness:
+    def test_planar_graph_with_fabricated_subdivision_rejected(self):
+        """Claiming a K5 lives inside a planar grid must fail at some node."""
+        scheme = NonPlanarityScheme()
+        graph = random_apollonian_network(15, seed=4)
+        network = Network(graph, seed=4)
+        rng = random.Random(0)
+        ids = network.ids()
+        branch_ids = tuple(sorted(rng.sample(ids, 5)))
+        # build internally consistent-looking spanning tree labels rooted at branch 0
+        from repro.core.building_blocks import spanning_tree_labels
+        from repro.graphs.spanning_tree import bfs_spanning_tree
+
+        root = network.node_of(branch_ids[0])
+        st_labels = spanning_tree_labels(network, bfs_spanning_tree(graph, root))
+        fooled = False
+        for _ in range(50):
+            certificates = {}
+            for node in network.nodes():
+                node_id = network.id_of(node)
+                role = None
+                if node_id in branch_ids:
+                    role = SubdivisionRole.branch(branch_ids.index(node_id))
+                certificates[node] = NonPlanarityCertificate(
+                    kind=KIND_K5, branch_ids=branch_ids,
+                    spanning_tree=st_labels[node], role=role)
+            if run_verification(scheme, network, certificates).accepted:
+                fooled = True
+                break
+        assert not fooled
+
+    def test_transplanted_certificates_on_subgraph_rejected(self):
+        """Remove an edge of K5 (making it planar) and replay the K5 certificates."""
+        scheme = NonPlanarityScheme()
+        k5 = complete_graph(5)
+        donor_network = Network(k5, seed=5)
+        donor = scheme.prove(donor_network)
+        planar = k5.copy()
+        planar.remove_edge(0, 1)
+        network = Network(planar, ids={node: donor_network.id_of(node)
+                                       for node in planar.nodes()})
+        result = run_verification(scheme, network, donor)
+        assert not result.accepted
+
+    def test_corrupted_branch_ids_rejected(self):
+        scheme = NonPlanarityScheme()
+        graph = petersen_graph()
+        network = Network(graph, seed=6)
+        certificates = scheme.prove(network)
+        victim = next(iter(certificates))
+        cert = certificates[victim]
+        certificates[victim] = dataclasses.replace(
+            cert, branch_ids=tuple(reversed(cert.branch_ids)))
+        assert not run_verification(scheme, network, certificates).accepted
+
+    def test_corrupted_role_rejected(self):
+        scheme = NonPlanarityScheme()
+        graph = k5_subdivision(2)
+        network = Network(graph, seed=7)
+        certificates = scheme.prove(network)
+        for node, cert in certificates.items():
+            if cert.role is not None and not cert.role.is_branch:
+                certificates[node] = dataclasses.replace(
+                    cert, role=dataclasses.replace(cert.role, position=cert.role.position + 1))
+                break
+        assert not run_verification(scheme, network, certificates).accepted
+
+    def test_missing_certificate_rejected(self):
+        scheme = NonPlanarityScheme()
+        graph = complete_bipartite_graph(3, 4)
+        network = Network(graph, seed=8)
+        certificates = scheme.prove(network)
+        certificates[next(iter(certificates))] = None
+        assert not run_verification(scheme, network, certificates).accepted
+
+
+class TestRoles:
+    def test_role_constructors(self):
+        branch = SubdivisionRole.branch(2)
+        internal = SubdivisionRole.internal(0, 3, 2, prev_id=11, next_id=17)
+        assert branch.is_branch and not internal.is_branch
+        assert internal.path_low == 0 and internal.path_high == 3
+        assert branch.size_bits() > 0 and internal.size_bits() > 0

@@ -1,0 +1,260 @@
+"""Tests for planarity testing, Kuratowski extraction, minors, and the generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError, NotPlanarError
+from repro.graphs.generators import (
+    NONPLANAR_FAMILIES,
+    PLANAR_FAMILIES,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    delaunay_planar_graph,
+    grid_graph,
+    k5_subdivision,
+    k33_subdivision,
+    nonplanar_family,
+    path_graph,
+    petersen_graph,
+    planar_family,
+    planar_plus_random_edges,
+    random_apollonian_network,
+    random_maximal_outerplanar_graph,
+    random_nonplanar_graph,
+    random_outerplanar_graph,
+    random_planar_graph,
+    random_tree,
+    subdivide_edges,
+    wheel_graph,
+)
+from repro.graphs.kuratowski import find_kuratowski_subdivision
+from repro.graphs.minors import (
+    contract_branch_sets,
+    has_clique_minor,
+    is_k4_minor_free,
+    verify_bipartite_minor_model,
+    verify_clique_minor_model,
+    verify_minor_model,
+)
+from repro.graphs.planarity import (
+    compute_planar_embedding,
+    is_planar,
+    passes_edge_count_bound,
+    planarity_upper_edge_bound,
+)
+from repro.graphs.validation import is_outerplanar
+
+
+class TestPlanarityTest:
+    def test_planar_instances_accepted(self, planar_case):
+        name, graph = planar_case
+        assert is_planar(graph), name
+
+    def test_nonplanar_instances_rejected(self, nonplanar_case):
+        name, graph = nonplanar_case
+        assert not is_planar(graph), name
+
+    def test_cross_check_with_networkx(self):
+        import networkx as nx
+
+        for seed in range(5):
+            graph = random_nonplanar_graph(15, seed=seed) if seed % 2 else \
+                random_planar_graph(20, seed=seed)
+            expected, _ = nx.check_planarity(graph.to_networkx())
+            assert is_planar(graph) == expected
+
+    def test_edge_bound(self):
+        assert planarity_upper_edge_bound(10) == 24
+        assert planarity_upper_edge_bound(2) == 1
+        assert passes_edge_count_bound(grid_graph(4, 4))
+        assert not passes_edge_count_bound(complete_graph(8))
+
+    def test_embedding_validates_euler(self, planar_case):
+        name, graph = planar_case
+        rotation = compute_planar_embedding(graph)
+        if graph.is_connected() and graph.number_of_nodes() > 1:
+            assert rotation.is_planar_embedding(), name
+
+    def test_embedding_of_nonplanar_raises(self):
+        with pytest.raises(NotPlanarError):
+            compute_planar_embedding(petersen_graph())
+        with pytest.raises(NotPlanarError):
+            compute_planar_embedding(complete_graph(7))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            is_planar(grid_graph(3, 3), backend="does-not-exist")
+
+
+class TestKuratowski:
+    @pytest.mark.parametrize("graph,expected_kind", [
+        (complete_graph(5), "K5"),
+        (complete_bipartite_graph(3, 3), "K3,3"),
+        (k5_subdivision(2), "K5"),
+        (k33_subdivision(2), "K3,3"),
+    ])
+    def test_kinds(self, graph, expected_kind):
+        subdivision = find_kuratowski_subdivision(graph)
+        assert subdivision.kind == expected_kind
+
+    def test_subdivision_is_a_subgraph(self, nonplanar_case):
+        name, graph = nonplanar_case
+        subdivision = find_kuratowski_subdivision(graph)
+        for u, v in subdivision.subgraph.edges():
+            assert graph.has_edge(u, v), name
+        assert not is_planar(subdivision.subgraph)
+
+    def test_branch_vertex_count(self, nonplanar_case):
+        _, graph = nonplanar_case
+        subdivision = find_kuratowski_subdivision(graph)
+        expected = 5 if subdivision.kind == "K5" else 6
+        assert len(subdivision.branch_vertices) == expected
+
+    def test_paths_connect_branch_vertices(self):
+        subdivision = find_kuratowski_subdivision(petersen_graph())
+        branch = set(subdivision.branch_vertices)
+        paths = subdivision.paths()
+        expected_paths = 10 if subdivision.kind == "K5" else 9
+        assert len(paths) == expected_paths
+        for path in paths:
+            assert path[0] in branch and path[-1] in branch
+            assert all(node not in branch for node in path[1:-1])
+
+    def test_planar_input_rejected(self):
+        with pytest.raises(GraphError):
+            find_kuratowski_subdivision(grid_graph(4, 4))
+
+
+class TestMinors:
+    def test_verify_clique_minor_model(self):
+        graph = complete_graph(5)
+        assert verify_clique_minor_model(graph, [{i} for i in range(5)])
+        assert not verify_clique_minor_model(cycle_graph(5), [{i} for i in range(5)])
+
+    def test_verify_minor_model_general(self):
+        graph = cycle_graph(6)
+        target = cycle_graph(3)
+        branch_sets = [{0, 1}, {2, 3}, {4, 5}]
+        assert verify_minor_model(graph, branch_sets, target, target_order=[0, 1, 2])
+
+    def test_branch_set_validation(self):
+        graph = path_graph(4)
+        with pytest.raises(GraphError):
+            verify_clique_minor_model(graph, [{0}, {0, 1}])
+        with pytest.raises(GraphError):
+            verify_clique_minor_model(graph, [{0, 2}, {1}])
+        with pytest.raises(GraphError):
+            verify_clique_minor_model(graph, [set(), {1}])
+
+    def test_contract_branch_sets(self):
+        graph = cycle_graph(6)
+        contracted = contract_branch_sets(graph, [{0, 1}, {2, 3}, {4, 5}])
+        assert contracted.number_of_nodes() == 3
+        assert contracted.number_of_edges() == 3
+
+    def test_bipartite_minor_model(self):
+        graph = complete_bipartite_graph(2, 3)
+        assert verify_bipartite_minor_model(graph, [{0}, {1}], [{2}, {3}, {4}])
+
+    def test_k4_minor_free(self):
+        assert is_k4_minor_free(cycle_graph(8))
+        assert is_k4_minor_free(random_tree(15, seed=1))
+        assert is_k4_minor_free(random_outerplanar_graph(15, seed=2))
+        assert not is_k4_minor_free(complete_graph(4))
+        assert not is_k4_minor_free(wheel_graph(5))
+
+    def test_has_clique_minor_small(self):
+        assert has_clique_minor(complete_graph(4), 4)
+        assert has_clique_minor(wheel_graph(4), 4)
+        assert not has_clique_minor(cycle_graph(6), 4)
+        assert has_clique_minor(petersen_graph(), 5)
+        assert not has_clique_minor(grid_graph(2, 3), 4)
+
+
+class TestGenerators:
+    def test_basic_families_shapes(self):
+        assert path_graph(7).number_of_edges() == 6
+        assert cycle_graph(7).number_of_edges() == 7
+        assert grid_graph(3, 5).number_of_nodes() == 15
+        assert complete_graph(6).number_of_edges() == 15
+        assert complete_bipartite_graph(3, 4).number_of_edges() == 12
+        assert wheel_graph(6).number_of_edges() == 12
+        assert petersen_graph().number_of_edges() == 15
+
+    def test_apollonian_is_maximal_planar(self):
+        graph = random_apollonian_network(30, seed=3)
+        assert graph.number_of_edges() == 3 * 30 - 6
+        assert is_planar(graph)
+
+    def test_delaunay_is_planar_connected(self):
+        graph = delaunay_planar_graph(60, seed=4)
+        assert is_planar(graph) and graph.is_connected()
+
+    def test_random_planar_graph(self):
+        graph = random_planar_graph(50, seed=5)
+        assert is_planar(graph) and graph.is_connected()
+
+    def test_outerplanar_generators(self):
+        maximal = random_maximal_outerplanar_graph(20, seed=6)
+        partial = random_outerplanar_graph(20, seed=6)
+        assert is_outerplanar(maximal)
+        assert is_outerplanar(partial)
+        assert partial.is_connected()
+
+    def test_subdivisions_are_nonplanar(self):
+        assert not is_planar(k5_subdivision(3))
+        assert not is_planar(k33_subdivision(3))
+        bigger = subdivide_edges(complete_graph(5), 2)
+        assert bigger.number_of_nodes() > 5
+
+    def test_planar_plus_random_edges_nonplanar(self):
+        graph = planar_plus_random_edges(12, extra_edges=2, seed=7)
+        assert not is_planar(graph)
+        with pytest.raises(GraphError):
+            planar_plus_random_edges(5)
+
+    def test_random_nonplanar_contains_k5(self):
+        graph = random_nonplanar_graph(20, seed=8)
+        assert not is_planar(graph)
+
+    def test_determinism_with_seed(self):
+        first = random_planar_graph(25, seed=99)
+        second = random_planar_graph(25, seed=99)
+        assert first == second
+
+    def test_family_registries(self):
+        for name in PLANAR_FAMILIES:
+            graph = planar_family(name, 20, seed=1)
+            assert is_planar(graph), name
+            assert graph.is_connected(), name
+        for name in NONPLANAR_FAMILIES:
+            graph = nonplanar_family(name, 20, seed=1)
+            assert not is_planar(graph), name
+            assert graph.is_connected(), name
+        with pytest.raises(GraphError):
+            planar_family("no-such-family", 10)
+        with pytest.raises(GraphError):
+            nonplanar_family("no-such-family", 10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 50), st.integers(0, 10 ** 6))
+def test_apollonian_always_planar_and_connected(n, seed):
+    """Property: the triangulation generator always yields maximal planar graphs."""
+    graph = random_apollonian_network(n, seed=seed)
+    assert graph.number_of_nodes() == n
+    assert graph.number_of_edges() == 3 * n - 6
+    assert graph.is_connected()
+    assert is_planar(graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(4, 40), st.integers(0, 10 ** 6))
+def test_outerplanar_generator_property(n, seed):
+    """Property: the outerplanar generator yields connected outerplanar graphs."""
+    graph = random_outerplanar_graph(n, seed=seed)
+    assert graph.is_connected()
+    assert is_outerplanar(graph)
