@@ -5,15 +5,16 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.experiments import comparison_experiment
-from repro.baselines.dmam import PlanarityDMAMProtocol
+from repro.distributed.engine import SimulationEngine
 from repro.distributed.interactive import run_interactive_protocol
-from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
 from repro.graphs.generators import random_apollonian_network
 
 
 def test_comparison_table(benchmark):
     """Regenerate the E5 table; benchmark one full dMAM execution (the slower baseline)."""
-    rows = comparison_experiment(n=48, seed=3)
+    engine = SimulationEngine(seed=3)
+    rows = comparison_experiment(n=48, seed=3, engine=engine)
     emit(rows, "E5: scheme comparison (interactions / randomness / certificate bits)")
     by_name = {row["scheme"]: row for row in rows}
     assert by_name["planarity-pls"]["max_certificate_bits"] < \
@@ -21,8 +22,8 @@ def test_comparison_table(benchmark):
     assert by_name["planarity-dmam"]["interactions"] == 3
 
     graph = random_apollonian_network(48, seed=3)
-    network = Network(graph, seed=3)
-    protocol = PlanarityDMAMProtocol()
+    network = engine.network_for(graph, seed=3)
+    protocol = default_registry().create("planarity-dmam")
 
     def run_dmam():
         return run_interactive_protocol(protocol, network, seed=3).accepted

@@ -9,8 +9,9 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.experiments import certificate_size_fit, certificate_size_scaling
-from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
 from repro.distributed.verifier import certificate_statistics
 from repro.graphs.generators import delaunay_planar_graph, random_apollonian_network
 
@@ -20,7 +21,9 @@ FAMILIES = ["apollonian", "delaunay", "grid", "tree"]
 
 def test_certificate_size_table(benchmark):
     """Regenerate the E1 table; benchmark measuring one prover run at n=128."""
-    rows = certificate_size_scaling(sizes=SIZES, families=FAMILIES, include_universal=False)
+    rows = certificate_size_scaling(sizes=SIZES, families=FAMILIES,
+                                    include_universal=False,
+                                    engine=SimulationEngine(seed=128))
     fit = certificate_size_fit(rows)
     emit(rows, "E1: planarity-pls certificate size vs n")
     emit([fit], "E1: least-squares fit max_bits ~ a*log2(n) + b")
@@ -28,7 +31,7 @@ def test_certificate_size_table(benchmark):
 
     graph = random_apollonian_network(128, seed=128)
     network = Network(graph, seed=128)
-    scheme = PlanarityScheme()
+    scheme = default_registry().create("planarity-pls")
 
     def prove_and_measure():
         certificates = scheme.prove(network)
@@ -42,7 +45,7 @@ def test_certificate_size_large_instance(benchmark):
     """Prover + size accounting on a larger Delaunay instance (n = 600)."""
     graph = delaunay_planar_graph(600, seed=7)
     network = Network(graph, seed=7)
-    scheme = PlanarityScheme()
+    scheme = default_registry().create("planarity-pls")
 
     def prove():
         return scheme.prove(network)

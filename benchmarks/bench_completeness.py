@@ -5,23 +5,23 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.experiments import completeness_experiment
-from repro.core.planarity_scheme import PlanarityScheme
-from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.registry import default_registry
 from repro.graphs.generators import random_planar_graph
 
 
 def test_completeness_table(benchmark):
     """Regenerate the E2 acceptance table; benchmark one full prove+verify cycle."""
-    rows = completeness_experiment(n=48, trials_per_family=2)
+    engine = SimulationEngine(seed=5)
+    rows = completeness_experiment(n=48, trials_per_family=2, engine=engine)
     emit(rows, "E2: acceptance rate of the honest prover per planar family")
     assert all(row["acceptance_rate"] == 1.0 for row in rows)
 
     graph = random_planar_graph(60, seed=5)
-    network = Network(graph, seed=5)
-    scheme = PlanarityScheme()
+    network = engine.network_for(graph, seed=5)
+    scheme = default_registry().create("planarity-pls")
 
     def prove_and_verify():
-        return run_verification(scheme, network, scheme.prove(network)).accepted
+        return engine.verify(scheme, network, scheme.prove(network)).accepted
 
     assert benchmark(prove_and_verify)

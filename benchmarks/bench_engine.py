@@ -1,0 +1,220 @@
+"""Headline engine benchmark: the seed per-node loop vs the SimulationEngine.
+
+Runs a fixed-seed completeness + soundness sweep over the two headline
+schemes (``planarity-pls`` and ``non-planarity-pls``) twice:
+
+* **reference** — the seed code path: one
+  :func:`~repro.distributed.verifier.run_verification` per completeness
+  instance and per attack trial, each call rebuilding every node's local view
+  and re-encoding every certificate;
+* **engine** — the same calls routed through a cold
+  :class:`~repro.distributed.engine.SimulationEngine` (batched structural
+  views, prover-artifact and size-accounting caches, decision-only attack
+  evaluation).
+
+Both passes consume identical RNG streams, so the accept/reject outcomes —
+per-node decisions on the completeness legs, per-attack best counts on the
+soundness legs — must match byte for byte; the script asserts this and
+records the wall-clock of each pass in ``BENCH_engine.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full sweep (n up to 2000)
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick    # CI smoke sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.distributed.adversary import random_certificate_attack, transplant_attack
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
+from repro.distributed.verifier import run_verification
+from repro.graphs.generators import delaunay_planar_graph, k5_subdivision
+from repro.graphs.graph import Graph
+
+SEED = 2020  # PODC 2020
+
+#: full-sweep sizes for the planarity legs and the non-planarity attacks
+FULL_SIZES = [300, 700, 1200, 2000]
+#: the Kuratowski prover is quadratic, so its completeness legs stay small
+FULL_NP_SIZES = [120, 240]
+FULL_TRIALS = 8
+
+QUICK_SIZES = [120, 240]
+QUICK_NP_SIZES = [60]
+QUICK_TRIALS = 3
+
+
+def _add_extra_edges(planar: Graph, count: int, seed: int) -> Graph:
+    """Return ``planar`` plus ``count`` fresh random edges (same node set)."""
+    rng = random.Random(seed)
+    graph = planar.copy()
+    nodes = list(graph.nodes())
+    added = 0
+    while added < count:
+        u, v = rng.sample(nodes, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def build_sweep(sizes: list[int], np_sizes: list[int]) -> dict[str, Any]:
+    """Build every instance and honest certificate assignment (untimed setup)."""
+    registry = default_registry()
+    pls = registry.create("planarity-pls")
+    nps = registry.create("non-planarity-pls")
+
+    instances: dict[str, Any] = {"pls": pls, "nps": nps, "legs": []}
+    for n in sizes:
+        planar = delaunay_planar_graph(n, seed=SEED + n)
+        planar_net = Network(planar, seed=SEED + n)
+        nonplanar = _add_extra_edges(planar, 3, seed=SEED + n)
+        nonplanar_net = Network(
+            nonplanar, ids={node: planar_net.id_of(node) for node in nonplanar.nodes()})
+        instances["legs"].append({
+            "kind": "planarity",
+            "n": planar.number_of_nodes(),
+            "planar_net": planar_net,
+            "nonplanar_net": nonplanar_net,
+            "honest": pls.prove(planar_net),
+        })
+    np_pool: list[Any] = []
+    for n in np_sizes:
+        # a K5 subdivision with ~n nodes (5 branch vertices + 10 subdivided edges)
+        subdivisions = max(1, (n - 5) // 10)
+        witness_graph = k5_subdivision(subdivisions, seed=SEED + n)
+        witness_net = Network(witness_graph, seed=SEED + n)
+        honest = nps.prove(witness_net)
+        np_pool.extend(honest.values())
+        instances["legs"].append({
+            "kind": "nonplanarity",
+            "n": witness_graph.number_of_nodes(),
+            "witness_net": witness_net,
+            "honest": honest,
+        })
+    instances["np_pool"] = np_pool
+    return instances
+
+
+def run_sweep(instances: dict[str, Any], trials: int,
+              engine: SimulationEngine | None) -> tuple[list[Any], float]:
+    """Run the sweep through the reference loop (``engine=None``) or the engine.
+
+    Returns ``(outcomes, seconds)``; outcomes are plain data and must be
+    identical between the two modes.
+    """
+    pls, nps = instances["pls"], instances["nps"]
+    np_pool = instances["np_pool"]
+    outcomes: list[Any] = []
+
+    def verify(scheme, network, certificates):
+        if engine is not None:
+            return engine.verify(scheme, network, certificates)
+        return run_verification(scheme, network, certificates)
+
+    start = time.perf_counter()
+    for leg in instances["legs"]:
+        if leg["kind"] == "planarity":
+            planar_net, nonplanar_net = leg["planar_net"], leg["nonplanar_net"]
+            honest = leg["honest"]
+            # completeness: every node of the planar instance accepts
+            result = verify(pls, planar_net, honest)
+            outcomes.append(["pls-completeness", leg["n"],
+                             [[i, d] for i, d in
+                              ((planar_net.id_of(v), dec) for v, dec in result.decisions.items())]])
+            # soundness: transplant the honest certificates onto the
+            # non-planar sibling, then shuffle them randomly
+            transplant = transplant_attack(pls, nonplanar_net, honest,
+                                           seed=SEED, engine=engine)
+
+            donor_nodes = list(honest)
+
+            def factory(rng, net, node, donor=honest, donor_nodes=donor_nodes):
+                return donor[rng.choice(donor_nodes)]
+
+            shuffled = random_certificate_attack(pls, nonplanar_net, factory,
+                                                 trials=trials, seed=SEED,
+                                                 engine=engine)
+            outcomes.append(["pls-soundness", leg["n"],
+                             transplant.best_accepting_nodes, transplant.fooled,
+                             shuffled.best_accepting_nodes, shuffled.fooled])
+            # non-planarity soundness: the planar instance is the no-instance;
+            # forge certificates from the honest Kuratowski pool
+            def np_factory(rng, net, node, pool=np_pool):
+                return pool[rng.randrange(len(pool))]
+
+            forged = random_certificate_attack(nps, planar_net, np_factory,
+                                               trials=trials, seed=SEED,
+                                               engine=engine)
+            outcomes.append(["nps-soundness", leg["n"],
+                             forged.best_accepting_nodes, forged.fooled])
+        else:
+            witness_net, honest = leg["witness_net"], leg["honest"]
+            result = verify(nps, witness_net, honest)
+            outcomes.append(["nps-completeness", leg["n"],
+                             [[i, d] for i, d in
+                              ((witness_net.id_of(v), dec) for v, dec in result.decisions.items())]])
+    return outcomes, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for the CI smoke job")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json")
+    args = parser.parse_args()
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    np_sizes = QUICK_NP_SIZES if args.quick else FULL_NP_SIZES
+    trials = QUICK_TRIALS if args.quick else FULL_TRIALS
+
+    print(f"building sweep instances (sizes={sizes}, np_sizes={np_sizes}) ...")
+    instances = build_sweep(sizes, np_sizes)
+
+    print("running reference per-node loop ...")
+    reference_outcomes, reference_seconds = run_sweep(instances, trials, engine=None)
+    print(f"  {reference_seconds:.2f}s")
+    print("running SimulationEngine ...")
+    engine = SimulationEngine(seed=SEED)
+    engine_outcomes, engine_seconds = run_sweep(instances, trials, engine=engine)
+    print(f"  {engine_seconds:.2f}s")
+
+    identical = reference_outcomes == engine_outcomes
+    speedup = reference_seconds / engine_seconds if engine_seconds else float("inf")
+    print(f"outcomes identical: {identical}; speedup: {speedup:.2f}x")
+    if not identical:
+        raise SystemExit("engine outcomes diverge from the reference loop")
+
+    accept_summary = [o[:2] + [sum(d for _, d in o[2]), len(o[2])]
+                      if o[0].endswith("completeness") else o
+                      for o in reference_outcomes]
+    payload = {
+        "benchmark": "completeness+soundness sweep, reference per-node loop vs SimulationEngine",
+        "schemes": ["planarity-pls", "non-planarity-pls"],
+        "seed": SEED,
+        "quick": args.quick,
+        "sweep": {"planarity_sizes": sizes,
+                  "nonplanarity_completeness_sizes": np_sizes,
+                  "attack_trials": trials},
+        "reference_seconds": round(reference_seconds, 3),
+        "engine_seconds": round(engine_seconds, 3),
+        "speedup": round(speedup, 2),
+        "outcomes_identical": identical,
+        "outcome_summary": accept_summary,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

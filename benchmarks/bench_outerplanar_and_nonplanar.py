@@ -5,23 +5,23 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.experiments import auxiliary_schemes_experiment
-from repro.core.nonplanarity_scheme import NonPlanarityScheme
-from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.registry import default_registry
 from repro.graphs.generators import planar_plus_random_edges
 
 
 def test_auxiliary_schemes_table(benchmark):
     """Regenerate the E9 table; benchmark the non-planarity prover (Kuratowski extraction)."""
-    rows = auxiliary_schemes_experiment(n=64)
+    engine = SimulationEngine(seed=11)
+    rows = auxiliary_schemes_experiment(n=64, engine=engine)
     emit(rows, "E9: auxiliary schemes (Lemma 2 and Kuratowski non-planarity)")
     assert all(row["accepted"] for row in rows)
 
     graph = planar_plus_random_edges(40, extra_edges=1, seed=11)
-    scheme = NonPlanarityScheme()
-    network = Network(graph, seed=11)
+    scheme = default_registry().create("non-planarity-pls")
+    network = engine.network_for(graph, seed=11)
 
     def prove_and_verify():
-        return run_verification(scheme, network, scheme.prove(network)).accepted
+        return engine.verify(scheme, network, scheme.prove(network)).accepted
 
     assert benchmark(prove_and_verify)

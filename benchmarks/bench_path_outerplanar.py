@@ -5,29 +5,29 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.core.path_outerplanar import random_path_outerplanar_graph
-from repro.core.po_scheme import PathOuterplanarScheme
-from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.registry import default_registry
 
 
 def test_path_outerplanar_scheme(benchmark):
     """Certificate sizes and accept decisions of the Lemma 2 scheme across sizes."""
+    engine = SimulationEngine(seed=1)
+    registry = default_registry()
     rows = []
     for n in (32, 64, 128, 256):
         graph, witness = random_path_outerplanar_graph(n, seed=n)
-        scheme = PathOuterplanarScheme(witness=witness)
-        network = Network(graph, seed=n)
-        result = run_verification(scheme, network, scheme.prove(network))
+        scheme = registry.create("path-outerplanarity-pls", witness=witness)
+        result = engine.certify_and_verify(scheme, graph, seed=n)
         rows.append({"n": n, "max_bits": result.max_certificate_bits,
                      "accepted": result.accepted})
     emit(rows, "E4: path-outerplanarity PLS (Lemma 2)")
     assert all(row["accepted"] for row in rows)
 
     graph, witness = random_path_outerplanar_graph(256, seed=1)
-    scheme = PathOuterplanarScheme(witness=witness)
-    network = Network(graph, seed=1)
+    scheme = registry.create("path-outerplanarity-pls", witness=witness)
+    network = engine.network_for(graph, seed=1)
 
     def prove_and_verify():
-        return run_verification(scheme, network, scheme.prove(network)).accepted
+        return engine.verify(scheme, network, scheme.prove(network)).accepted
 
     assert benchmark(prove_and_verify)

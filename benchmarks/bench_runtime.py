@@ -6,12 +6,13 @@ import pytest
 from conftest import emit
 
 from repro.analysis.experiments import runtime_experiment
-from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
 from repro.distributed.verifier import run_verification
 from repro.graphs.generators import delaunay_planar_graph, random_apollonian_network
 
-SCHEME = PlanarityScheme()
+SCHEME = default_registry().create("planarity-pls")
 
 
 def test_runtime_table(benchmark):
@@ -31,8 +32,20 @@ def test_prover_runtime(benchmark, n):
 
 @pytest.mark.parametrize("n", [64, 256])
 def test_verifier_runtime(benchmark, n):
+    """The reference per-node loop, kept as the baseline the engine is measured against."""
     graph = delaunay_planar_graph(n, seed=n)
     network = Network(graph, seed=n)
     certificates = SCHEME.prove(network)
     result = benchmark(lambda: run_verification(SCHEME, network, certificates))
+    assert result.accepted
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_engine_verifier_runtime(benchmark, n):
+    """The batched SimulationEngine path over the same instances (warm caches)."""
+    engine = SimulationEngine(seed=n)
+    graph = delaunay_planar_graph(n, seed=n)
+    network = engine.network_for(graph, seed=n)
+    certificates = engine.certify(SCHEME, network)
+    result = benchmark(lambda: engine.verify(SCHEME, network, certificates))
     assert result.accepted

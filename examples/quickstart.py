@@ -2,33 +2,32 @@
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 
-The example builds a small planar network, runs the honest prover of the
-Theorem 1 proof-labeling scheme, verifies locally at every node, and reports
-the exact certificate sizes.  It then shows the soundness side: on a
-non-planar network, replaying certificates of a planar sub-network leaves at
-least one node rejecting.
+The example resolves the Theorem 1 proof-labeling scheme through the
+:class:`~repro.distributed.registry.SchemeRegistry`, runs the honest prover
+and the batched :class:`~repro.distributed.engine.SimulationEngine` verifier
+over a small planar network, and reports the exact certificate sizes.  It
+then shows the soundness side: on a non-planar network, replaying
+certificates of a planar sub-network leaves at least one node rejecting.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import print_table
-from repro.core.planarity_scheme import PlanarityScheme
-from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.registry import default_registry
 from repro.graphs.generators import delaunay_planar_graph, planar_plus_random_edges
 from repro.graphs.planarity import is_planar
+
+ENGINE = SimulationEngine(seed=1)
+SCHEME = default_registry().create("planarity-pls")
 
 
 def certify_planar_network() -> None:
     """Completeness: an honest prover convinces every node of a planar network."""
     graph = delaunay_planar_graph(40, seed=1)
-    network = Network(graph, seed=1)
-    scheme = PlanarityScheme()
-
-    certificates = scheme.prove(network)
-    result = run_verification(scheme, network, certificates)
+    result = ENGINE.certify_and_verify(SCHEME, graph, seed=1)
 
     print("== Certifying a planar network (Delaunay triangulation, n = 40) ==")
     print(f"all nodes accept          : {result.accepted}")
@@ -42,8 +41,7 @@ def reject_nonplanar_network() -> None:
     """Soundness: no certificate assignment convinces every node of a non-planar network."""
     graph = planar_plus_random_edges(20, extra_edges=1, seed=2)
     assert not is_planar(graph)
-    network = Network(graph, seed=2)
-    scheme = PlanarityScheme()
+    network = ENGINE.network_for(graph, seed=2)
 
     # the strongest cheap attack: certify a planar sub-network honestly and
     # replay those certificates on the real (non-planar) network
@@ -54,9 +52,10 @@ def reject_nonplanar_network() -> None:
         twin.remove_edge(u, v)
         if not twin.is_connected():
             twin.add_edge(u, v)
-    donor_network = Network(twin, ids={node: network.id_of(node) for node in twin.nodes()})
-    transplanted = scheme.prove(donor_network)
-    result = run_verification(scheme, network, transplanted)
+    donor_network = ENGINE.network_for(
+        twin, ids={node: network.id_of(node) for node in twin.nodes()})
+    transplanted = SCHEME.prove(donor_network)
+    result = ENGINE.verify(SCHEME, network, transplanted)
 
     print("== Attacking a non-planar network (planar graph + 1 crossing link) ==")
     print(f"all nodes accept          : {result.accepted}")
@@ -65,6 +64,14 @@ def reject_nonplanar_network() -> None:
     print()
 
 
+def list_registered_schemes() -> None:
+    """Every scheme in the library is discoverable by name."""
+    print_table(default_registry().description_rows(),
+                title="registered certification schemes")
+    print()
+
+
 if __name__ == "__main__":
+    list_registered_schemes()
     certify_planar_network()
     reject_nonplanar_network()

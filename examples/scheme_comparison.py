@@ -13,20 +13,24 @@ from __future__ import annotations
 from repro.analysis.experiments import certificate_size_scaling, certificate_size_fit
 from repro.analysis.tables import print_table
 from repro.baselines.comparison import compare_schemes_on
+from repro.distributed.engine import SimulationEngine
 from repro.graphs.generators import planar_plus_random_edges, random_apollonian_network
 
 
 def main() -> None:
+    engine = SimulationEngine(seed=11)
     planar = random_apollonian_network(60, seed=11)
     nonplanar = planar_plus_random_edges(60, extra_edges=2, seed=11)
 
-    rows = [row.as_dict() for row in compare_schemes_on(planar, nonplanar, seed=11)]
+    rows = [row.as_dict() for row in
+            compare_schemes_on(planar, nonplanar, seed=11, engine=engine)]
     print_table(rows, title="E5: certification mechanisms on the same 60-node network")
     print()
 
     scaling = certificate_size_scaling(sizes=[32, 64, 128, 256],
                                        families=["apollonian", "grid"],
-                                       include_universal=True)
+                                       include_universal=True,
+                                       engine=engine)
     print_table(scaling, title="Certificate size scaling: Theorem 1 vs the universal map")
     print()
     print_table([certificate_size_fit(scaling)],

@@ -15,14 +15,11 @@ from typing import Any
 
 from repro.analysis.fitting import fit_log_scaling
 from repro.baselines.comparison import compare_schemes_on
-from repro.baselines.universal import UniversalPlanarityScheme
-from repro.core.planarity_scheme import PlanarityScheme
-from repro.core.nonplanarity_scheme import NonPlanarityScheme
-from repro.core.po_scheme import PathOuterplanarScheme
 from repro.core.path_outerplanar import random_path_outerplanar_graph
 from repro.distributed.adversary import random_certificate_attack, transplant_attack
+from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
-from repro.distributed.verifier import certify_and_verify, run_verification
+from repro.distributed.registry import default_registry
 from repro.graphs.generators import (
     NONPLANAR_FAMILIES,
     PLANAR_FAMILIES,
@@ -45,6 +42,16 @@ __all__ = [
     "runtime_experiment",
 ]
 
+#: engine shared by every driver in this module when the caller passes none;
+#: caches of caller-owned networks are weakref-evicted, and the engine's own
+#: network cache is a bounded LRU, so holding it at module level keeps at
+#: most ``network_cache_size`` experiment graphs alive.
+_SHARED_ENGINE = SimulationEngine()
+
+
+def _engine_or_default(engine: SimulationEngine | None) -> SimulationEngine:
+    return engine if engine is not None else _SHARED_ENGINE
+
 
 # ----------------------------------------------------------------------
 # E1: certificate size scaling
@@ -52,7 +59,8 @@ __all__ = [
 def certificate_size_scaling(sizes: list[int] | None = None,
                              families: list[str] | None = None,
                              include_universal: bool = False,
-                             seed: int = 0) -> list[dict[str, Any]]:
+                             seed: int = 0,
+                             engine: SimulationEngine | None = None) -> list[dict[str, Any]]:
     """Measure certificate sizes of the planarity PLS across sizes and families.
 
     Each row reports the exact maximum and mean certificate size in bits, the
@@ -61,13 +69,15 @@ def certificate_size_scaling(sizes: list[int] | None = None,
     """
     sizes = sizes or [16, 32, 64, 128, 256]
     families = families or ["apollonian", "delaunay", "random-planar", "grid", "tree"]
-    scheme = PlanarityScheme()
-    universal = UniversalPlanarityScheme()
+    engine = _engine_or_default(engine)
+    registry = default_registry()
+    scheme = registry.create("planarity-pls")
+    universal = registry.create("universal-map-pls")
     rows: list[dict[str, Any]] = []
     for family in families:
         for n in sizes:
             graph = planar_family(family, n, seed=seed + n)
-            result = certify_and_verify(scheme, graph, seed=seed + n)
+            result = engine.certify_and_verify(scheme, graph, seed=seed + n)
             actual_n = graph.number_of_nodes()
             row: dict[str, Any] = {
                 "family": family,
@@ -81,7 +91,7 @@ def certificate_size_scaling(sizes: list[int] | None = None,
                 "accepted": result.accepted,
             }
             if include_universal:
-                universal_result = certify_and_verify(universal, graph, seed=seed + n)
+                universal_result = engine.certify_and_verify(universal, graph, seed=seed + n)
                 row["universal_max_bits"] = universal_result.max_certificate_bits
             rows.append(row)
     return rows
@@ -106,15 +116,18 @@ __all__.append("certificate_size_fit")
 # E2: completeness
 # ----------------------------------------------------------------------
 def completeness_experiment(n: int = 60, trials_per_family: int = 3,
-                            seed: int = 0) -> list[dict[str, Any]]:
+                            seed: int = 0,
+                            engine: SimulationEngine | None = None,
+                            scheme_name: str = "planarity-pls") -> list[dict[str, Any]]:
     """Run the honest prover + verifier over every planar family (acceptance must be 1.0)."""
-    scheme = PlanarityScheme()
+    engine = _engine_or_default(engine)
+    scheme = default_registry().create(scheme_name)
     rows = []
     for family in PLANAR_FAMILIES:
         accepted = 0
         for trial in range(trials_per_family):
             graph = planar_family(family, n, seed=seed + trial)
-            result = certify_and_verify(scheme, graph, seed=seed + trial)
+            result = engine.certify_and_verify(scheme, graph, seed=seed + trial)
             accepted += int(result.accepted)
         rows.append({
             "family": family,
@@ -143,24 +156,30 @@ def _planar_twin(graph: Graph, seed: int) -> Graph:
     return twin
 
 
-def soundness_experiment(n: int = 30, trials: int = 20, seed: int = 0) -> list[dict[str, Any]]:
+def soundness_experiment(n: int = 30, trials: int = 20, seed: int = 0,
+                         engine: SimulationEngine | None = None,
+                         scheme_name: str = "planarity-pls") -> list[dict[str, Any]]:
     """Attack the planarity verifier on non-planar inputs (no attack may fool all nodes)."""
-    scheme = PlanarityScheme()
+    engine = _engine_or_default(engine)
+    scheme = default_registry().create(scheme_name)
     rows = []
     for family in NONPLANAR_FAMILIES:
         graph = nonplanar_family(family, n, seed=seed)
-        network = Network(graph, seed=seed)
+        network = engine.network_for(graph, seed=seed)
 
         twin = _planar_twin(graph, seed)
-        donor_network = Network(twin, ids={node: network.id_of(node) for node in twin.nodes()})
-        donor_certificates = scheme.prove(donor_network)
-        transplant = transplant_attack(scheme, network, donor_certificates, seed=seed)
+        donor_network = engine.network_for(
+            twin, ids={node: network.id_of(node) for node in twin.nodes()})
+        donor_certificates = engine.certify(scheme, donor_network, cache=False)
+        transplant = transplant_attack(scheme, network, donor_certificates,
+                                       seed=seed, engine=engine)
 
         def factory(rng: random.Random, net: Network, node: Node) -> Any:
             donor_node = rng.choice(list(donor_certificates))
             return donor_certificates[donor_node]
 
-        shuffled = random_certificate_attack(scheme, network, factory, trials=trials, seed=seed)
+        shuffled = random_certificate_attack(scheme, network, factory,
+                                             trials=trials, seed=seed, engine=engine)
         rows.append({
             "family": family,
             "n": graph.number_of_nodes(),
@@ -175,11 +194,14 @@ def soundness_experiment(n: int = 30, trials: int = 20, seed: int = 0) -> list[d
 # ----------------------------------------------------------------------
 # E5: scheme comparison
 # ----------------------------------------------------------------------
-def comparison_experiment(n: int = 40, seed: int = 0) -> list[dict[str, Any]]:
+def comparison_experiment(n: int = 40, seed: int = 0,
+                          engine: SimulationEngine | None = None) -> list[dict[str, Any]]:
     """Compare Theorem 1 against the dMAM, universal, and Kuratowski baselines."""
     planar = random_apollonian_network(n, seed=seed)
     nonplanar = planar_plus_random_edges(max(7, n), seed=seed)
-    return [row.as_dict() for row in compare_schemes_on(planar, nonplanar, seed=seed)]
+    rows = compare_schemes_on(planar, nonplanar, seed=seed,
+                              engine=_engine_or_default(engine))
+    return [row.as_dict() for row in rows]
 
 
 # ----------------------------------------------------------------------
@@ -199,14 +221,16 @@ def lower_bound_table(k: int = 5, p_values: list[int] | None = None) -> list[dic
 
 
 def upper_vs_lower_bound_table(sizes: list[int] | None = None,
-                               seed: int = 0) -> list[dict[str, Any]]:
+                               seed: int = 0,
+                               engine: SimulationEngine | None = None) -> list[dict[str, Any]]:
     """Put the Theorem 1 upper bound next to the Theorem 2 lower bound, per ``n``."""
     sizes = sizes or [24, 48, 96, 192]
-    scheme = PlanarityScheme()
+    engine = _engine_or_default(engine)
+    scheme = default_registry().create("planarity-pls")
     rows = []
     for n in sizes:
         graph = random_apollonian_network(n, seed=seed + n)
-        result = certify_and_verify(scheme, graph, seed=seed + n)
+        result = engine.certify_and_verify(scheme, graph, seed=seed + n)
         p = max(2, n // 4 - 2)   # Forb(K5) blocks have 4 nodes each
         rows.append({
             "n": n,
@@ -220,19 +244,27 @@ def upper_vs_lower_bound_table(sizes: list[int] | None = None,
 # ----------------------------------------------------------------------
 # E8: runtime scaling
 # ----------------------------------------------------------------------
-def runtime_experiment(sizes: list[int] | None = None, seed: int = 0) -> list[dict[str, Any]]:
-    """Measure prover and verifier wall-clock time on growing Apollonian networks."""
+def runtime_experiment(sizes: list[int] | None = None, seed: int = 0,
+                       engine: SimulationEngine | None = None) -> list[dict[str, Any]]:
+    """Measure prover and verifier wall-clock time on growing Apollonian networks.
+
+    The verifier leg times the batched
+    :meth:`~repro.distributed.engine.SimulationEngine.verify` path (the
+    production loop); structural caches are cold for each fresh network, so
+    the numbers include one view-materialisation pass.
+    """
     sizes = sizes or [50, 100, 200, 400]
-    scheme = PlanarityScheme()
+    engine = _engine_or_default(engine)
+    scheme = default_registry().create("planarity-pls")
     rows = []
     for n in sizes:
         graph = random_apollonian_network(n, seed=seed + n)
-        network = Network(graph, seed=seed + n)
+        network = engine.network_for(graph, seed=seed + n)
         start = time.perf_counter()
-        certificates = scheme.prove(network)
+        certificates = engine.certify(scheme, network, cache=False)
         prover_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        result = run_verification(scheme, network, certificates)
+        result = engine.verify(scheme, network, certificates)
         verifier_seconds = time.perf_counter() - start
         rows.append({
             "n": n,
@@ -248,11 +280,15 @@ def runtime_experiment(sizes: list[int] | None = None, seed: int = 0) -> list[di
 # ----------------------------------------------------------------------
 # E4/E9: the path-outerplanarity and non-planarity schemes
 # ----------------------------------------------------------------------
-def auxiliary_schemes_experiment(n: int = 60, seed: int = 0) -> list[dict[str, Any]]:
+def auxiliary_schemes_experiment(n: int = 60, seed: int = 0,
+                                 engine: SimulationEngine | None = None) -> list[dict[str, Any]]:
     """Certificate sizes of the Lemma 2 scheme and the Kuratowski scheme."""
+    engine = _engine_or_default(engine)
+    registry = default_registry()
     rows = []
     graph, witness = random_path_outerplanar_graph(n, seed=seed)
-    result = certify_and_verify(PathOuterplanarScheme(witness=witness), graph, seed=seed)
+    result = engine.certify_and_verify(
+        registry.create("path-outerplanarity-pls", witness=witness), graph, seed=seed)
     rows.append({
         "scheme": "path-outerplanarity-pls",
         "n": graph.number_of_nodes(),
@@ -260,7 +296,8 @@ def auxiliary_schemes_experiment(n: int = 60, seed: int = 0) -> list[dict[str, A
         "accepted": result.accepted,
     })
     nonplanar = planar_plus_random_edges(max(7, n), seed=seed)
-    result = certify_and_verify(NonPlanarityScheme(), nonplanar, seed=seed)
+    result = engine.certify_and_verify(
+        registry.create("non-planarity-pls"), nonplanar, seed=seed)
     rows.append({
         "scheme": "non-planarity-pls",
         "n": nonplanar.number_of_nodes(),

@@ -19,16 +19,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.dmam import PlanarityDMAMProtocol
-from repro.baselines.universal import UniversalPlanarityScheme
-from repro.core.nonplanarity_scheme import NonPlanarityScheme
-from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.engine import SimulationEngine
 from repro.distributed.interactive import run_interactive_protocol
-from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.distributed.registry import SchemeRegistry, default_registry
 from repro.graphs.graph import Graph
 
 __all__ = ["ComparisonRow", "compare_schemes_on"]
+
+#: planarity mechanisms (registry names) run on the planar input, in table order
+PLANARITY_SCHEMES = ("planarity-pls", "universal-map-pls")
 
 
 @dataclass(frozen=True)
@@ -57,19 +56,28 @@ class ComparisonRow:
 
 
 def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None,
-                       seed: int = 0) -> list[ComparisonRow]:
+                       seed: int = 0,
+                       engine: SimulationEngine | None = None,
+                       registry: SchemeRegistry | None = None) -> list[ComparisonRow]:
     """Run every certification mechanism on the same inputs and collect the table.
 
     The planarity mechanisms (Theorem 1, dMAM, universal) run on
     ``planar_graph``; the Kuratowski scheme runs on ``nonplanar_graph`` when
-    provided (it certifies the complementary class).
+    provided (it certifies the complementary class).  Schemes are resolved
+    through ``registry`` (defaulting to the shared :func:`default_registry`)
+    and executed through ``engine`` (defaulting to a fresh engine per call —
+    pass one in to share caches across calls), so the same networks and
+    honest certificates are never rebuilt between rows of one table.
     """
+    engine = engine if engine is not None else SimulationEngine()
+    registry = registry if registry is not None else default_registry()
     rows: list[ComparisonRow] = []
-    network = Network(planar_graph, seed=seed)
+    network = engine.network_for(planar_graph, seed=seed)
 
-    for scheme in (PlanarityScheme(), UniversalPlanarityScheme()):
-        certificates = scheme.prove(network)
-        result = run_verification(scheme, network, certificates)
+    for name in PLANARITY_SCHEMES:
+        scheme = registry.create(name)
+        certificates = engine.certify(scheme, network)
+        result = engine.verify(scheme, network, certificates)
         rows.append(ComparisonRow(
             scheme=scheme.name,
             interactions=scheme.interactions,
@@ -80,7 +88,7 @@ def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None
             certifies="planarity",
         ))
 
-    protocol = PlanarityDMAMProtocol()
+    protocol = registry.create("planarity-dmam")
     transcript = run_interactive_protocol(protocol, network, seed=seed)
     rows.append(ComparisonRow(
         scheme=protocol.name,
@@ -93,10 +101,10 @@ def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None
     ))
 
     if nonplanar_graph is not None:
-        scheme = NonPlanarityScheme()
-        np_network = Network(nonplanar_graph, seed=seed)
-        certificates = scheme.prove(np_network)
-        result = run_verification(scheme, np_network, certificates)
+        scheme = registry.create("non-planarity-pls")
+        np_network = engine.network_for(nonplanar_graph, seed=seed)
+        certificates = engine.certify(scheme, np_network)
+        result = engine.verify(scheme, np_network, certificates)
         rows.append(ComparisonRow(
             scheme=scheme.name,
             interactions=scheme.interactions,

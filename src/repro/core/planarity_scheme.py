@@ -94,8 +94,19 @@ class TreeEdgeCertificate(Encodable):
         return True
 
     def endpoint_ids(self) -> frozenset[int]:
-        """Return the identifiers of the two endpoints of the edge."""
-        return frozenset((self.parent_id, self.child_id))
+        """Return the identifiers of the two endpoints of the edge.
+
+        Memoised per instance: a certificate is inspected once per node that
+        can see it and attacks re-evaluate the same immutable certificate
+        objects across many trials, so the frozenset is built exactly once
+        (``object.__setattr__`` bypasses the frozen-dataclass guard; the
+        cache lives in ``__dict__`` and does not participate in equality).
+        """
+        cached = self.__dict__.get("_endpoints")
+        if cached is None:
+            cached = frozenset((self.parent_id, self.child_id))
+            object.__setattr__(self, "_endpoints", cached)
+        return cached
 
     def mentioned_indices(self) -> tuple[int, ...]:
         """Return the ``G_{T,f}`` indices this certificate refers to."""
@@ -126,8 +137,12 @@ class CotreeEdgeCertificate(Encodable):
         return False
 
     def endpoint_ids(self) -> frozenset[int]:
-        """Return the identifiers of the two endpoints of the edge."""
-        return frozenset((self.a_id, self.b_id))
+        """Return the identifiers of the two endpoints of the edge (memoised)."""
+        cached = self.__dict__.get("_endpoints")
+        if cached is None:
+            cached = frozenset((self.a_id, self.b_id))
+            object.__setattr__(self, "_endpoints", cached)
+        return cached
 
     def mentioned_indices(self) -> tuple[int, ...]:
         """Return the ``G_{T,f}`` indices this certificate refers to."""
@@ -362,25 +377,32 @@ def reconstruct_local_structure(view: LocalView,
                               copies=(1,), chord_neighbors={1: ()}, interval_of={})
 
     # ---- Phase 1: collect the edge certificates visible at this node ----
-    collected: dict[frozenset[int], EdgeCertificate] = {}
-    all_certificates = list(own.edge_certificates)
-    for certificate in neighbor_certs.values():
-        all_certificates.extend(certificate.edge_certificates)
-    for certificate in all_certificates:
-        if not isinstance(certificate, (TreeEdgeCertificate, CotreeEdgeCertificate)):
-            return None
-        endpoints = certificate.endpoint_ids()
-        if my_id not in endpoints:
-            continue  # not about one of my incident edges
-        existing = collected.get(endpoints)
-        if existing is None:
-            collected[endpoints] = certificate
-        elif existing != certificate:
-            return None  # conflicting certificates for the same edge
+    # Certificates about my incident edges are keyed by the *other* endpoint
+    # identifier (for a certificate whose two endpoint fields both equal my
+    # own identifier the "other" endpoint is my_id itself, which can never
+    # match a neighbor identifier, so such a certificate still fails the
+    # coverage check below exactly as the original frozenset keying did).
+    collected: dict[int, EdgeCertificate] = {}
+    for source in (own, *neighbor_certs.values()):
+        for certificate in source.edge_certificates:
+            if not isinstance(certificate, (TreeEdgeCertificate, CotreeEdgeCertificate)):
+                return None
+            endpoints = certificate.endpoint_ids()
+            if my_id not in endpoints:
+                continue  # not about one of my incident edges
+            other = my_id
+            for endpoint in endpoints:
+                if endpoint != my_id:
+                    other = endpoint
+            existing = collected.get(other)
+            if existing is None:
+                collected[other] = certificate
+            elif existing != certificate:
+                return None  # conflicting certificates for the same edge
 
     # every incident edge must be covered by exactly one certificate
-    incident_keys = {frozenset((my_id, neighbor_id)) for neighbor_id in view.neighbor_ids}
-    if set(collected) != incident_keys:
+    if len(collected) != len(view.neighbor_ids) or \
+            any(neighbor_id not in collected for neighbor_id in view.neighbor_ids):
         return None
 
     # consistent interval map over all mentioned indices
@@ -402,7 +424,7 @@ def reconstruct_local_structure(view: LocalView,
     child_span: dict[int, tuple[int, int]] = {}  # child id -> (f_min, f_max)
     parent_edge: TreeEdgeCertificate | None = None
     for neighbor_id in view.neighbor_ids:
-        certificate = collected[frozenset((my_id, neighbor_id))]
+        certificate = collected[neighbor_id]
         if certificate.is_tree_edge:
             # tree-edge certificates must exist exactly for tree neighbors,
             # with the parent/child orientation matching the spanning-tree labels
@@ -458,11 +480,13 @@ def reconstruct_local_structure(view: LocalView,
     # ---- Phase 1c: neighborhoods of my copies in G_{T,f} ----
     chord_neighbors: dict[int, list[int]] = {index: [] for index in my_copies}
     for neighbor_id in view.neighbor_ids:
-        certificate = collected[frozenset((my_id, neighbor_id))]
+        certificate = collected[neighbor_id]
         if certificate.is_tree_edge:
             continue
         assert isinstance(certificate, CotreeEdgeCertificate)
-        if {certificate.a_id, certificate.b_id} != {my_id, neighbor_id}:
+        a_id, b_id = certificate.a_id, certificate.b_id
+        if not ((a_id == my_id and b_id == neighbor_id)
+                or (a_id == neighbor_id and b_id == my_id)):
             return None
         my_copy = certificate.copy_of(my_id)
         other_copy = certificate.copy_of(neighbor_id)

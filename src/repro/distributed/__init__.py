@@ -10,6 +10,8 @@ from repro.distributed.verifier import (
     run_verification,
 )
 from repro.distributed.congest import SynchronousSimulator
+from repro.distributed.engine import NodeStructure, SimulationEngine, derive_seed
+from repro.distributed.registry import RegistryEntry, SchemeRegistry, default_registry
 from repro.distributed.interactive import (
     InteractiveProtocol,
     InteractiveTranscript,
@@ -36,6 +38,12 @@ __all__ = [
     "completeness_holds",
     "run_verification",
     "SynchronousSimulator",
+    "SimulationEngine",
+    "NodeStructure",
+    "derive_seed",
+    "SchemeRegistry",
+    "RegistryEntry",
+    "default_registry",
     "InteractiveProtocol",
     "InteractiveTranscript",
     "run_interactive_protocol",

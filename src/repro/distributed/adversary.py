@@ -27,10 +27,15 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from typing import TYPE_CHECKING
+
 from repro.distributed.network import Network
 from repro.distributed.scheme import ProofLabelingScheme
 from repro.distributed.verifier import run_verification
 from repro.graphs.graph import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.distributed.engine import SimulationEngine
 
 __all__ = [
     "AttackResult",
@@ -64,22 +69,35 @@ class AttackResult:
 
 
 def _evaluate(scheme: ProofLabelingScheme, network: Network,
-              certificates: dict[Node, Any]) -> int:
+              certificates: dict[Node, Any],
+              engine: "SimulationEngine | None" = None) -> int:
+    if engine is not None:
+        return engine.count_accepting(scheme, network, certificates)
     result = run_verification(scheme, network, certificates)
     return sum(1 for accepted in result.decisions.values() if accepted)
 
 
 def random_certificate_attack(scheme: ProofLabelingScheme, network: Network,
                               certificate_factory: Callable[[random.Random, Network, Node], Any],
-                              trials: int = 50, seed: int | None = None) -> AttackResult:
-    """Attack with randomly generated certificates from ``certificate_factory``."""
-    rng = random.Random(seed)
+                              trials: int = 50, seed: int | None = None,
+                              rng: random.Random | None = None,
+                              engine: "SimulationEngine | None" = None) -> AttackResult:
+    """Attack with randomly generated certificates from ``certificate_factory``.
+
+    ``rng`` (which takes precedence over ``seed``) drives the certificate
+    forging, so a single generator can make a whole experiment reproducible;
+    ``engine`` evaluates trials through the batched
+    :class:`~repro.distributed.engine.SimulationEngine` caches instead of the
+    per-node reference loop (same decisions, much less rebuild work).
+    """
+    if rng is None:
+        rng = random.Random(seed)
     best = 0
     n = network.size
     for _ in range(trials):
         certificates = {node: certificate_factory(rng, network, node)
                         for node in network.nodes()}
-        best = max(best, _evaluate(scheme, network, certificates))
+        best = max(best, _evaluate(scheme, network, certificates, engine))
         if best == n:
             break
     return AttackResult(scheme_name=scheme.name, attack_name="random",
@@ -90,23 +108,27 @@ def random_certificate_attack(scheme: ProofLabelingScheme, network: Network,
 def transplant_attack(scheme: ProofLabelingScheme, network: Network,
                       donor_certificates: dict[Node, Any],
                       mutate: Callable[[random.Random, Any], Any] | None = None,
-                      trials: int = 20, seed: int | None = None) -> AttackResult:
+                      trials: int = 20, seed: int | None = None,
+                      rng: random.Random | None = None,
+                      engine: "SimulationEngine | None" = None) -> AttackResult:
     """Attack by transplanting honest certificates from a related *yes*-instance.
 
     ``donor_certificates`` must be keyed by the nodes of ``network`` (callers
     typically compute honest certificates on a planar graph sharing the node
     set, e.g. the same graph with the offending edge removed).  Optionally a
     ``mutate`` function perturbs the transplanted certificates between trials.
+    ``rng`` and ``engine`` behave as in :func:`random_certificate_attack`.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     n = network.size
     certificates = {node: donor_certificates.get(node) for node in network.nodes()}
-    best = _evaluate(scheme, network, certificates)
+    best = _evaluate(scheme, network, certificates, engine)
     performed = 1
     if mutate is not None:
         for _ in range(trials - 1):
             mutated = {node: mutate(rng, cert) for node, cert in certificates.items()}
-            best = max(best, _evaluate(scheme, network, mutated))
+            best = max(best, _evaluate(scheme, network, mutated, engine))
             performed += 1
             if best == n:
                 break
@@ -117,7 +139,8 @@ def transplant_attack(scheme: ProofLabelingScheme, network: Network,
 
 def exhaustive_attack(scheme: ProofLabelingScheme, network: Network,
                       certificate_universe: Sequence[Any],
-                      max_assignments: int = 2_000_000) -> AttackResult:
+                      max_assignments: int = 2_000_000,
+                      engine: "SimulationEngine | None" = None) -> AttackResult:
     """Try *every* assignment of certificates from a finite universe.
 
     The number of assignments is ``len(universe) ** n``; callers must keep
@@ -135,7 +158,7 @@ def exhaustive_attack(scheme: ProofLabelingScheme, network: Network,
     for combo in itertools.product(certificate_universe, repeat=n):
         count += 1
         certificates = dict(zip(nodes, combo))
-        best = max(best, _evaluate(scheme, network, certificates))
+        best = max(best, _evaluate(scheme, network, certificates, engine))
         if best == n:
             break
     return AttackResult(scheme_name=scheme.name, attack_name="exhaustive",

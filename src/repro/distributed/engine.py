@@ -1,0 +1,394 @@
+"""A batched, caching simulation engine for proof-labeling schemes.
+
+:func:`~repro.distributed.verifier.run_verification` is the reference
+implementation of the verification round: build one
+:class:`~repro.distributed.network.LocalView` at a time and run the verifier
+node by node.  That is the right shape for explaining the model, but the
+experiments run the *same* network through the verifier many times — once per
+adversarial trial, once per scheme, once per sweep point — and the per-node
+loop then rebuilds identical view structure (sorted neighbor identifier
+lists, radius-1 ball graphs) and re-encodes identical certificates on every
+run.
+
+:class:`SimulationEngine` hoists everything that does not depend on the
+certificate assignment out of the per-trial loop:
+
+* **structural views** — for each ``(network, radius)`` the engine
+  materialises every node's center identifier, sorted neighbor identifiers,
+  visible-node list and ball graph in one pass over the network's compiled
+  :class:`~repro.graphs.indexed.IndexedGraph`, and caches the result for the
+  lifetime of the network;
+* **prover artifacts** — honest certificate assignments are cached per
+  ``(network, scheme)``, so sweeps that re-verify the same instance (or
+  attack it with transplanted honest certificates) pay the prover once;
+* **decision-only verification** — adversarial attacks only need the number
+  of accepting nodes, so :meth:`count_accepting` skips the bit-exact
+  certificate-size accounting that :func:`run_verification` performs on
+  every call;
+* **trial fan-out** — independent trials (completeness sweep points,
+  soundness attacks) can be distributed over a process pool with
+  :meth:`run_trials`, with per-trial seeds derived deterministically from the
+  engine seed.
+
+The engine is behaviour-preserving: :meth:`verify` returns a
+:class:`~repro.distributed.verifier.VerificationResult` equal field-for-field
+to the one the per-node loop produces (``tests/test_engine.py`` asserts this
+for every registered scheme on planar and non-planar instances).
+"""
+
+from __future__ import annotations
+
+import random
+import weakref
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.distributed.network import LocalView, Network
+from repro.distributed.scheme import ProofLabelingScheme
+from repro.distributed.verifier import VerificationResult, certificate_statistics
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["SimulationEngine", "NodeStructure", "derive_seed"]
+
+
+def derive_seed(seed: int | None, index: int) -> int | None:
+    """Derive a deterministic per-trial seed from a root seed and a trial index."""
+    if seed is None:
+        return None
+    return (seed * 1_000_003 + index * 7_919 + 12_345) % (1 << 63)
+
+
+@dataclass(frozen=True)
+class NodeStructure:
+    """The certificate-independent part of one node's :class:`LocalView`."""
+
+    node: Node
+    center_id: int
+    neighbor_ids: list[int]
+    visible_nodes: list[Node]
+    visible_ids: list[int]
+    ball: Graph
+
+
+class SimulationEngine:
+    """Batched prover/verifier simulation with structural and prover caches.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes used by :meth:`run_trials`.  ``1`` (the
+        default) runs trials serially in-process; larger values fan the
+        trials out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+    seed:
+        Root seed from which per-trial seeds are derived (see
+        :func:`derive_seed`); ``None`` leaves trial seeding to the caller.
+    network_cache_size:
+        Maximum number of networks kept alive by :meth:`network_for`.  A
+        cached network necessarily pins its graph, so this cache is a
+        bounded LRU rather than weakref-evicted; evicting a network also
+        drops its structural, prover, and size caches.
+    """
+
+    def __init__(self, workers: int = 1, seed: int | None = None,
+                 network_cache_size: int = 32) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if network_cache_size < 1:
+            raise ValueError("network_cache_size must be >= 1")
+        self.workers = workers
+        self.seed = seed
+        self.network_cache_size = network_cache_size
+        # structural views per network: id(network) -> {radius: [NodeStructure]}
+        self._structures: dict[int, dict[int, list[NodeStructure]]] = {}
+        # honest certificates per network: id(network) -> {id(scheme): certs}
+        # (keyed by scheme identity, not name: instances of the same scheme
+        # class can carry different prover state, e.g. an explicit witness)
+        self._prover_cache: dict[int, dict[int, dict[Node, Any]]] = {}
+        # encoded certificate sizes of honest assignments:
+        # id(network) -> {id(certificates): sizes}
+        self._stats_cache: dict[int, dict[int, dict[Node, int]]] = {}
+        # graph mutation counter observed when a network's caches were built:
+        # id(network) -> Graph._version
+        self._versions: dict[int, int] = {}
+        # bounded LRU of engine-built networks, keyed by (id(graph), seed),
+        # each entry stamped with the graph version it was built against;
+        # seed=None requests are never cached (fresh random ids per call)
+        self._networks: OrderedDict[tuple[int, int], tuple[int, Network]] = OrderedDict()
+        # weakrefs that evict the id-keyed entries above when the caller's
+        # own networks/schemes are garbage-collected
+        self._finalizers: dict[int, weakref.ref] = {}
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def _track(self, obj: object, *caches: dict[int, Any]) -> int:
+        """Key ``obj`` by id and evict its cache entries when it is collected."""
+        key = id(obj)
+        if key not in self._finalizers:
+            def _evict(_ref: weakref.ref, key: int = key) -> None:
+                for cache in caches:
+                    cache.pop(key, None)
+                self._finalizers.pop(key, None)
+            self._finalizers[key] = weakref.ref(obj, _evict)
+        return key
+
+    def clear_caches(self) -> None:
+        """Drop every cached structure, prover artifact, and network."""
+        self._structures.clear()
+        self._prover_cache.clear()
+        self._stats_cache.clear()
+        self._versions.clear()
+        self._networks.clear()
+        self._finalizers.clear()
+
+    def _network_key(self, network: Network) -> int:
+        """Track ``network`` and invalidate its caches if its graph mutated.
+
+        The structural views, prover artifacts, and size statistics are all
+        functions of the network's topology; a mutation of the underlying
+        graph (detected through the same counter that guards
+        :meth:`Graph.indexed`) makes every one of them stale at once.
+        """
+        key = self._track(network, self._structures, self._prover_cache,
+                          self._stats_cache, self._versions)
+        version = network.graph._version
+        if self._versions.get(key, version) != version:
+            self._structures.pop(key, None)
+            self._prover_cache.pop(key, None)
+            self._stats_cache.pop(key, None)
+        self._versions[key] = version
+        return key
+
+    def network_for(self, graph: Graph, seed: int | None = None,
+                    ids: dict[Node, int] | None = None) -> Network:
+        """Return a :class:`Network` over ``graph`` (cached when ``ids`` is None).
+
+        The cache is a bounded LRU (``network_cache_size`` entries): a cached
+        network keeps its graph alive, so unbounded weakref caching would pin
+        every graph ever passed in.  Evicting a network drops its dependent
+        structural/prover/size caches as well.
+
+        Calls with explicit ``ids`` or with ``seed=None`` bypass the cache:
+        ``Network(graph)`` means a *fresh random* identifier assignment per
+        call, and caching it would silently collapse that distribution to a
+        single sample.
+        """
+        if ids is not None or seed is None:
+            return Network(graph, ids=ids, seed=seed)
+        key = (id(graph), seed)
+        entry = self._networks.get(key)
+        if entry is not None:
+            version, network = entry
+            # a live cache entry pins its graph, so id(graph) cannot have
+            # been reused while the entry exists; the identity check is a
+            # cheap guard, and the version check drops networks whose id
+            # assignment no longer covers a mutated graph's node set
+            if network.graph is graph and version == graph._version:
+                self._networks.move_to_end(key)
+                return network
+        network = Network(graph, seed=seed)
+        self._networks[key] = (graph._version, network)
+        if len(self._networks) > self.network_cache_size:
+            _, (_, evicted) = self._networks.popitem(last=False)
+            evicted_key = id(evicted)
+            self._structures.pop(evicted_key, None)
+            self._prover_cache.pop(evicted_key, None)
+            self._stats_cache.pop(evicted_key, None)
+            self._versions.pop(evicted_key, None)
+            self._finalizers.pop(evicted_key, None)
+        return network
+
+    def structures(self, network: Network, radius: int = 1) -> list[NodeStructure]:
+        """Return the cached certificate-independent view structure of every node.
+
+        Nodes appear in the network's node order (the order
+        :func:`~repro.distributed.verifier.run_verification` visits them).
+        """
+        key = self._network_key(network)
+        per_radius = self._structures.setdefault(key, {})
+        cached = per_radius.get(radius)
+        if cached is None:
+            cached = self._materialize(network, radius)
+            per_radius[radius] = cached
+        return cached
+
+    def _materialize(self, network: Network, radius: int) -> list[NodeStructure]:
+        indexed = network.graph.indexed()
+        labels = indexed.labels
+        ids = [network.id_of(label) for label in labels]
+        structures: list[NodeStructure] = []
+        if radius == 1:
+            for i, node in enumerate(labels):
+                center_id = ids[i]
+                neighbor_ids = sorted(ids[j] for j in indexed.neighbors_of(i))
+                # star ball, laid out exactly like Network.local_view builds it
+                ball = Graph()
+                ball._adj[center_id] = set(neighbor_ids)
+                for neighbor_id in neighbor_ids:
+                    ball._adj[neighbor_id] = {center_id}
+                visible = [node, *(network.node_of(nid) for nid in neighbor_ids)]
+                structures.append(NodeStructure(
+                    node=node, center_id=center_id, neighbor_ids=neighbor_ids,
+                    visible_nodes=visible,
+                    visible_ids=[center_id, *neighbor_ids], ball=ball))
+        else:
+            # delegate to the reference implementation so the deliberate
+            # t-round view approximation documented there stays the single
+            # source of truth; only the certificate-independent fields are
+            # kept (an empty assignment leaves view.certificates keyed by
+            # exactly the visible identifiers, in visible order)
+            for node in labels:
+                view = network.local_view(node, {}, radius=radius)
+                visible_ids = list(view.certificates)
+                structures.append(NodeStructure(
+                    node=node, center_id=view.center_id,
+                    neighbor_ids=view.neighbor_ids,
+                    visible_nodes=[network.node_of(i) for i in visible_ids],
+                    visible_ids=visible_ids, ball=view.ball))
+        return structures
+
+    # ------------------------------------------------------------------
+    # batched verification
+    # ------------------------------------------------------------------
+    def views(self, network: Network, certificates: dict[Node, Any],
+              radius: int = 1) -> dict[Node, LocalView]:
+        """Materialise every node's :class:`LocalView` in one batched pass."""
+        return {s.node: self._view(s, certificates, radius)
+                for s in self.structures(network, radius)}
+
+    @staticmethod
+    def _view(structure: NodeStructure, certificates: dict[Node, Any],
+              radius: int) -> LocalView:
+        """Assemble a :class:`LocalView` from cached structure plus certificates.
+
+        ``neighbor_ids`` is copied per view (cheap, and a verifier sorting it
+        in place must not corrupt the cache); the ball graph is shared across
+        every view built from this structure — verifiers must treat it as
+        read-only, which every scheme in the library does.
+        """
+        get = certificates.get
+        return LocalView(
+            center_id=structure.center_id,
+            certificate=get(structure.node),
+            neighbor_ids=list(structure.neighbor_ids),
+            certificates={vid: get(v) for vid, v in
+                          zip(structure.visible_ids, structure.visible_nodes)},
+            ball=structure.ball,
+            radius=radius,
+        )
+
+    def verify(self, scheme: ProofLabelingScheme, network: Network,
+               certificates: dict[Node, Any]) -> VerificationResult:
+        """Batched equivalent of :func:`~repro.distributed.verifier.run_verification`."""
+        radius = scheme.verification_radius
+        verify = scheme.verify
+        view = self._view
+        decisions = {s.node: bool(verify(view(s, certificates, radius)))
+                     for s in self.structures(network, radius)}
+        return VerificationResult(
+            scheme_name=scheme.name,
+            decisions=decisions,
+            certificate_bits=self._certificate_stats(network, certificates),
+            verification_radius=radius,
+        )
+
+    def _certificate_stats(self, network: Network,
+                           certificates: dict[Node, Any]) -> dict[Node, int]:
+        """Encode certificate sizes, cached for prover-produced assignments.
+
+        Only assignments held in the prover cache are memoised (they are the
+        ones verified repeatedly, and caching arbitrary attack assignments
+        would retain every trial's dictionary).
+        """
+        key = id(network)
+        per_scheme = self._prover_cache.get(key)
+        if not per_scheme or not any(certs is certificates
+                                     for certs in per_scheme.values()):
+            return certificate_statistics(certificates)
+        per_certs = self._stats_cache.setdefault(key, {})
+        stats = per_certs.get(id(certificates))
+        if stats is None:
+            stats = certificate_statistics(certificates)
+            per_certs[id(certificates)] = stats
+        return stats
+
+    def count_accepting(self, scheme: ProofLabelingScheme, network: Network,
+                        certificates: dict[Node, Any]) -> int:
+        """Return how many nodes accept, skipping certificate-size accounting.
+
+        This is the adversary's inner loop: attacks only rank assignments by
+        the number of convinced nodes, so the bit-exact encoding pass of
+        :func:`run_verification` would be pure overhead here.
+        """
+        radius = scheme.verification_radius
+        verify = scheme.verify
+        view = self._view
+        return sum(1 for s in self.structures(network, radius)
+                   if verify(view(s, certificates, radius)))
+
+    # ------------------------------------------------------------------
+    # prover artifacts
+    # ------------------------------------------------------------------
+    def certify(self, scheme: ProofLabelingScheme, network: Network,
+                cache: bool = True) -> dict[Node, Any]:
+        """Run the honest prover, caching the assignment per (network, scheme)."""
+        if not cache:
+            return scheme.prove(network)
+        key = self._network_key(network)
+        scheme_key = id(scheme)
+        if scheme_key not in self._finalizers:
+            def _evict(_ref: weakref.ref, scheme_key: int = scheme_key) -> None:
+                for net_key, per_scheme in self._prover_cache.items():
+                    certificates = per_scheme.pop(scheme_key, None)
+                    if certificates is not None:
+                        # drop the size stats keyed by the freed dict's id as
+                        # well, or a later allocation at the recycled address
+                        # could be served another assignment's sizes
+                        per_certs = self._stats_cache.get(net_key)
+                        if per_certs is not None:
+                            per_certs.pop(id(certificates), None)
+                self._finalizers.pop(scheme_key, None)
+            self._finalizers[scheme_key] = weakref.ref(scheme, _evict)
+        per_scheme = self._prover_cache.setdefault(key, {})
+        certificates = per_scheme.get(scheme_key)
+        if certificates is None:
+            certificates = scheme.prove(network)
+            per_scheme[scheme_key] = certificates
+        return certificates
+
+    def certify_and_verify(self, scheme: ProofLabelingScheme, graph: Graph,
+                           seed: int | None = None,
+                           ids: dict[Node, int] | None = None) -> VerificationResult:
+        """Batched equivalent of :func:`~repro.distributed.verifier.certify_and_verify`."""
+        network = self.network_for(graph, seed=seed, ids=ids)
+        certificates = self.certify(scheme, network)
+        return self.verify(scheme, network, certificates)
+
+    # ------------------------------------------------------------------
+    # trial fan-out
+    # ------------------------------------------------------------------
+    def trial_seed(self, index: int) -> int | None:
+        """Return the deterministic seed of trial ``index`` under the engine seed."""
+        return derive_seed(self.seed, index)
+
+    def run_trials(self, worker: Callable[[Any], Any],
+                   specs: Sequence[Any]) -> list[Any]:
+        """Map ``worker`` over independent trial ``specs``.
+
+        Runs serially when ``workers == 1``; otherwise fans out over a
+        process pool (``worker`` and every spec must then be picklable, e.g.
+        a module-level function taking plain tuples).  Results keep the order
+        of ``specs`` either way.
+        """
+        if self.workers == 1 or len(specs) <= 1:
+            return [worker(spec) for spec in specs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(worker, specs))
+
+    def rng(self, index: int = 0) -> random.Random:
+        """Return a :class:`random.Random` seeded for trial ``index``."""
+        return random.Random(self.trial_seed(index))

@@ -50,6 +50,12 @@ class LocalView:
         the center's incident edges.
     radius:
         The verification radius used to build the view.
+
+    Verifiers must treat a view as **read-only**: the batched
+    :class:`~repro.distributed.engine.SimulationEngine` shares the ball
+    graph between the views it builds for a node across trials, so scratch
+    mutations that are harmless under the per-call reference loop would
+    corrupt every later evaluation there.
     """
 
     center_id: int
@@ -83,15 +89,22 @@ class Network:
         mimicking the "polynomial range" assumption of the model.
     seed:
         Seed for the random identifier assignment.
+    rng:
+        Explicit random generator for the identifier assignment; takes
+        precedence over ``seed``.  Passing the same generator that drives
+        the rest of an experiment makes the whole run reproducible from a
+        single seed.
     """
 
     def __init__(self, graph: Graph, ids: dict[Node, int] | None = None,
-                 seed: int | None = None, id_space: int | None = None) -> None:
+                 seed: int | None = None, id_space: int | None = None,
+                 rng: random.Random | None = None) -> None:
         require_connected(graph, context="building a Network")
         self.graph = graph
         n = graph.number_of_nodes()
         if ids is None:
-            rng = random.Random(seed)
+            if rng is None:
+                rng = random.Random(seed)
             space = id_space if id_space is not None else max(2 * n, n * n)
             chosen = rng.sample(range(space), n)
             ids = {node: chosen[index] for index, node in enumerate(graph.nodes())}

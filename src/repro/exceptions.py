@@ -45,3 +45,7 @@ class EmbeddingError(ReproError):
 
 class ProtocolError(ReproError):
     """An interactive protocol was driven in an invalid order."""
+
+
+class RegistryError(ReproError):
+    """A scheme-registry operation failed (unknown name, duplicate registration)."""

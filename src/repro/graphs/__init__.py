@@ -1,6 +1,7 @@
 """Graph substrate: data structures, generators, planarity, embeddings, minors."""
 
 from repro.graphs.graph import Graph, edge_key
+from repro.graphs.indexed import IndexedGraph
 from repro.graphs.embedding import RotationSystem
 from repro.graphs.spanning_tree import (
     RootedTree,
@@ -15,6 +16,7 @@ from repro.graphs.validation import is_outerplanar, is_path_graph, require_conne
 
 __all__ = [
     "Graph",
+    "IndexedGraph",
     "edge_key",
     "RotationSystem",
     "RootedTree",

@@ -59,6 +59,8 @@ class Graph:
     def __init__(self, edges: Iterable[Edge] | None = None,
                  nodes: Iterable[Node] | None = None) -> None:
         self._adj: dict[Node, set[Node]] = {}
+        self._version = 0
+        self._indexed_cache: tuple[int, Any] | None = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -73,6 +75,7 @@ class Graph:
         """Insert ``node`` (a no-op when already present)."""
         if node not in self._adj:
             self._adj[node] = set()
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Insert the undirected edge ``{u, v}``, adding endpoints as needed."""
@@ -80,8 +83,11 @@ class Graph:
             raise GraphError(f"self-loops are not allowed (node {u!r})")
         self.add_node(u)
         self.add_node(v)
+        if v in self._adj[u]:
+            return  # no-op re-add: keep the compiled-view cache valid
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._version += 1
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         """Insert every edge of ``edges``."""
@@ -94,6 +100,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) is not in the graph")
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
@@ -102,6 +109,7 @@ class Graph:
         for neighbor in self._adj[node]:
             self._adj[neighbor].discard(node)
         del self._adj[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -186,10 +194,35 @@ class Graph:
                     sub.add_edge(u, v)
         return sub
 
+    def indexed(self) -> Any:
+        """Return the compiled :class:`~repro.graphs.indexed.IndexedGraph` view.
+
+        The compiled form is cached against a mutation counter, so repeated
+        traversals over an unmodified graph compile at most once.  The view
+        is a snapshot: callers must not hold it across mutations.
+        """
+        from repro.graphs.indexed import IndexedGraph
+
+        cache = self._indexed_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        compiled = IndexedGraph.from_graph(self)
+        self._indexed_cache = (self._version, compiled)
+        return compiled
+
     def is_connected(self) -> bool:
-        """Return whether the graph is connected (the empty graph is not)."""
+        """Return whether the graph is connected (the empty graph is not).
+
+        Uses the cached :meth:`indexed` view when it is already compiled
+        (connectivity is then a pure integer BFS); falls back to a direct
+        BFS over the adjacency sets otherwise — compiling the CSR view just
+        for a single one-shot check would cost more than it saves.
+        """
         if not self._adj:
             return False
+        cache = self._indexed_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1].is_connected()
         return len(self.connected_component(next(iter(self._adj)))) == len(self._adj)
 
     def connected_component(self, start: Node) -> set[Node]:

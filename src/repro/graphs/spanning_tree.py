@@ -172,8 +172,25 @@ def spanning_tree_from_parents(graph: Graph, root: Node,
 
 
 def cotree_edges(graph: Graph, tree: RootedTree) -> list[tuple[Node, Node]]:
-    """Return the edges of ``graph`` that are not in ``tree`` (the *cotree* of Section 1.1)."""
-    return [(u, v) for u, v in graph.edges() if not tree.has_edge(u, v)]
+    """Return the edges of ``graph`` that are not in ``tree`` (the *cotree* of Section 1.1).
+
+    Enumerates edges through the compiled
+    :class:`~repro.graphs.indexed.IndexedGraph` view, which emits each
+    undirected edge exactly once without the per-edge set bookkeeping of
+    :meth:`Graph.edges`.  The returned tuples are the same canonical
+    ``edge_key`` pairs (the enumeration order differs from ``Graph.edges``,
+    which no caller relies on).
+    """
+    from repro.graphs.graph import edge_key
+
+    indexed = graph.indexed()
+    labels = indexed.labels
+    result: list[tuple[Node, Node]] = []
+    for i, j in indexed.edges_indexed():
+        u, v = labels[i], labels[j]
+        if not tree.has_edge(u, v):
+            result.append(edge_key(u, v))
+    return result
 
 
 __all__.append("cotree_edges")

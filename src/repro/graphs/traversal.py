@@ -4,15 +4,22 @@ The planarity proof-labeling scheme of the paper is built around a specific
 depth-first traversal of a spanning tree (the *DFS-mapping* of Section 3.2),
 but the substrate also needs ordinary BFS/DFS traversals for spanning-tree
 construction, connectivity checks, and the lower-bound constructions.
+
+All traversals run over the graph's compiled
+:class:`~repro.graphs.indexed.IndexedGraph` view: adjacency blocks are
+pre-sorted by ``repr`` of the neighbor label exactly once per graph, so the
+visiting orders are byte-identical to the historical
+``sorted(neighbors, key=repr)``-per-visit implementation while the loops
+themselves run over contiguous integer indices.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Callable, Iterable
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph, Node
+from repro.graphs.indexed import IndexedGraph
 
 __all__ = [
     "bfs_order",
@@ -24,74 +31,83 @@ __all__ = [
 ]
 
 
-def _check_start(graph: Graph, start: Node) -> None:
-    if not graph.has_node(start):
+def _indexed_start(graph: Graph, start: Node) -> tuple[IndexedGraph, int]:
+    indexed = graph.indexed()
+    if start not in indexed.index_of:
         raise GraphError(f"start node {start!r} is not in the graph")
+    return indexed, indexed.index_of[start]
 
 
 def bfs_order(graph: Graph, start: Node) -> list[Node]:
     """Return the breadth-first visiting order from ``start``."""
-    _check_start(graph, start)
-    order = [start]
-    seen = {start}
-    queue = deque([start])
-    while queue:
-        node = queue.popleft()
-        for neighbor in sorted(graph.neighbors(node), key=repr):
-            if neighbor not in seen:
-                seen.add(neighbor)
-                order.append(neighbor)
-                queue.append(neighbor)
-    return order
+    indexed, root = _indexed_start(graph, start)
+    labels = indexed.labels
+    return [labels[i] for i in indexed.bfs_order_from(root)]
 
 
 def bfs_parents(graph: Graph, start: Node) -> dict[Node, Node | None]:
-    """Return the BFS parent of every reachable node (``None`` for ``start``)."""
-    _check_start(graph, start)
-    parents: dict[Node, Node | None] = {start: None}
-    queue = deque([start])
-    while queue:
-        node = queue.popleft()
-        for neighbor in sorted(graph.neighbors(node), key=repr):
-            if neighbor not in parents:
-                parents[neighbor] = node
-                queue.append(neighbor)
-    return parents
+    """Return the BFS parent of every reachable node (``None`` for ``start``).
+
+    The returned dict is in BFS *discovery* order — spanning-tree
+    construction derives children orderings from it, so the loop records
+    parents inline rather than post-processing a parent array in index
+    order.
+    """
+    indexed, root = _indexed_start(graph, start)
+    labels, indptr, indices = indexed.labels, indexed.indptr, indexed.indices
+    result: dict[Node, Node | None] = {labels[root]: None}
+    seen = bytearray(indexed.n)
+    seen[root] = 1
+    queue = [root]
+    head = 0
+    while head < len(queue):
+        i = queue[head]
+        head += 1
+        for j in indices[indptr[i]:indptr[i + 1]]:
+            if not seen[j]:
+                seen[j] = 1
+                result[labels[j]] = labels[i]
+                queue.append(j)
+    return result
 
 
 def dfs_order(graph: Graph, start: Node) -> list[Node]:
     """Return an iterative depth-first preorder from ``start``."""
-    _check_start(graph, start)
+    indexed, root = _indexed_start(graph, start)
+    labels, indptr, indices = indexed.labels, indexed.indptr, indexed.indices
     order: list[Node] = []
-    seen: set[Node] = set()
-    stack = [start]
+    seen = bytearray(indexed.n)
+    stack = [root]
     while stack:
-        node = stack.pop()
-        if node in seen:
+        i = stack.pop()
+        if seen[i]:
             continue
-        seen.add(node)
-        order.append(node)
-        for neighbor in sorted(graph.neighbors(node), key=repr, reverse=True):
-            if neighbor not in seen:
-                stack.append(neighbor)
+        seen[i] = 1
+        order.append(labels[i])
+        block = indices[indptr[i]:indptr[i + 1]]
+        for j in reversed(block):
+            if not seen[j]:
+                stack.append(j)
     return order
 
 
 def dfs_parents(graph: Graph, start: Node) -> dict[Node, Node | None]:
     """Return the DFS parent of every reachable node (``None`` for ``start``)."""
-    _check_start(graph, start)
-    parents: dict[Node, Node | None] = {start: None}
-    stack: list[tuple[Node, Node | None]] = [(start, None)]
-    seen: set[Node] = set()
+    indexed, root = _indexed_start(graph, start)
+    labels, indptr, indices = indexed.labels, indexed.indptr, indexed.indices
+    parents: dict[Node, Node | None] = {labels[root]: None}
+    stack: list[tuple[int, int]] = [(root, -1)]
+    seen = bytearray(indexed.n)
     while stack:
-        node, parent = stack.pop()
-        if node in seen:
+        i, parent = stack.pop()
+        if seen[i]:
             continue
-        seen.add(node)
-        parents[node] = parent
-        for neighbor in sorted(graph.neighbors(node), key=repr, reverse=True):
-            if neighbor not in seen:
-                stack.append((neighbor, node))
+        seen[i] = 1
+        parents[labels[i]] = None if parent < 0 else labels[parent]
+        block = indices[indptr[i]:indptr[i + 1]]
+        for j in reversed(block):
+            if not seen[j]:
+                stack.append((j, i))
     return parents
 
 
@@ -109,7 +125,8 @@ def dfs_preorder_with_children_order(
 
     Returns ``(preorder, parents)``.
     """
-    _check_start(graph, start)
+    indexed, root = _indexed_start(graph, start)
+    labels, index_of = indexed.labels, indexed.index_of
     if child_order is None:
         def child_order(node: Node, parent: Node | None,
                         candidates: Iterable[Node]) -> list[Node]:
@@ -117,16 +134,18 @@ def dfs_preorder_with_children_order(
 
     preorder: list[Node] = []
     parents: dict[Node, Node | None] = {start: None}
-    seen: set[Node] = set()
+    seen = bytearray(indexed.n)
 
-    def visit(node: Node, parent: Node | None) -> None:
-        seen.add(node)
+    def visit(i: int, parent: Node | None) -> None:
+        seen[i] = 1
+        node = labels[i]
         preorder.append(node)
-        candidates = [nb for nb in graph.neighbors(node) if nb not in seen]
+        candidates = [labels[j] for j in indexed.neighbors_of(i) if not seen[j]]
         for child in child_order(node, parent, candidates):
-            if child not in seen:
+            j = index_of[child]
+            if not seen[j]:
                 parents[child] = node
-                visit(child, node)
+                visit(j, node)
 
     # an explicit stack is avoided for readability; recursion depth equals the
     # tree depth, so callers handling very deep graphs should raise the
@@ -134,9 +153,9 @@ def dfs_preorder_with_children_order(
     import sys
 
     old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 2 * graph.number_of_nodes() + 1000))
+    sys.setrecursionlimit(max(old_limit, 2 * indexed.n + 1000))
     try:
-        visit(start, None)
+        visit(root, None)
     finally:
         sys.setrecursionlimit(old_limit)
     return preorder, parents
@@ -144,13 +163,7 @@ def dfs_preorder_with_children_order(
 
 def shortest_path_lengths(graph: Graph, start: Node) -> dict[Node, int]:
     """Return the hop distance from ``start`` to every reachable node."""
-    _check_start(graph, start)
-    dist = {start: 0}
-    queue = deque([start])
-    while queue:
-        node = queue.popleft()
-        for neighbor in graph.neighbors(node):
-            if neighbor not in dist:
-                dist[neighbor] = dist[node] + 1
-                queue.append(neighbor)
-    return dist
+    indexed, root = _indexed_start(graph, start)
+    labels = indexed.labels
+    dist = indexed.bfs_distances_from(root)
+    return {labels[i]: d for i, d in enumerate(dist) if d >= 0}

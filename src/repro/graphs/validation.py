@@ -40,24 +40,25 @@ def is_outerplanar(graph: Graph, backend: str = "networkx") -> bool:
 
 def is_path_graph(graph: Graph) -> bool:
     """Return whether ``graph`` is a simple path (connected, max degree 2, no cycle)."""
-    n = graph.number_of_nodes()
+    indexed = graph.indexed()
+    n = indexed.n
     if n == 0:
         return False
     if n == 1:
         return True
-    if not graph.is_connected():
+    if not indexed.is_connected():
         return False
-    degrees = sorted(graph.degree(node) for node in graph.nodes())
+    degrees = sorted(indexed.degrees)
     return degrees[0] == 1 and degrees[1] == 1 and all(d <= 2 for d in degrees) \
-        and graph.number_of_edges() == n - 1
+        and indexed.m == n - 1
 
 
 def is_simple_cycle(graph: Graph) -> bool:
     """Return whether ``graph`` is a single cycle."""
-    n = graph.number_of_nodes()
-    if n < 3 or not graph.is_connected():
+    indexed = graph.indexed()
+    if indexed.n < 3 or not indexed.is_connected():
         return False
-    return all(graph.degree(node) == 2 for node in graph.nodes())
+    return all(d == 2 for d in indexed.degrees)
 
 
 def hamiltonian_order_is_valid(graph: Graph, order: list[Node]) -> bool:

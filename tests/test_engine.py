@@ -1,0 +1,324 @@
+"""Engine-vs-naive equivalence and cache behaviour of :class:`SimulationEngine`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.path_outerplanar import random_path_outerplanar_graph
+from repro.distributed.adversary import random_certificate_attack, transplant_attack
+from repro.distributed.engine import SimulationEngine, derive_seed
+from repro.distributed.network import LocalView, Network
+from repro.distributed.registry import default_registry
+from repro.distributed.scheme import ProofLabelingScheme
+from repro.distributed.verifier import run_verification
+from repro.exceptions import NotInClassError
+from repro.graphs.generators import (
+    delaunay_planar_graph,
+    k5_subdivision,
+    path_graph,
+    planar_plus_random_edges,
+    random_tree,
+)
+
+
+def scheme_instances():
+    """(scheme factory kwargs, yes-instance) pairs for every registered PLS."""
+    po_graph, po_witness = random_path_outerplanar_graph(20, seed=4)
+    return {
+        "planarity-pls": ({}, delaunay_planar_graph(30, seed=1)),
+        "non-planarity-pls": ({}, k5_subdivision(2, seed=2)),
+        "path-outerplanarity-pls": ({"witness": po_witness}, po_graph),
+        "path-graph-pls": ({}, path_graph(10)),
+        "tree-pls": ({}, random_tree(15, seed=3)),
+        "universal-map-pls": ({}, delaunay_planar_graph(30, seed=5)),
+    }
+
+
+PLANAR_GRAPH = delaunay_planar_graph(24, seed=11)
+NONPLANAR_GRAPH = planar_plus_random_edges(18, extra_edges=2, seed=11)
+
+
+def assert_same_result(naive, batched):
+    assert naive.scheme_name == batched.scheme_name
+    assert naive.decisions == batched.decisions
+    assert naive.certificate_bits == batched.certificate_bits
+    assert naive.verification_radius == batched.verification_radius
+    assert naive.accepted == batched.accepted
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", sorted(scheme_instances()))
+    def test_honest_assignment_matches_naive(self, name):
+        kwargs, graph = scheme_instances()[name]
+        scheme = default_registry().create(name, **kwargs)
+        engine = SimulationEngine(seed=0)
+        network = Network(graph, seed=0)
+        certificates = scheme.prove(network)
+        assert_same_result(run_verification(scheme, network, certificates),
+                           engine.verify(scheme, network, certificates))
+
+    @pytest.mark.parametrize("name", sorted(scheme_instances()))
+    @pytest.mark.parametrize("case", ["planar", "nonplanar"])
+    def test_decisions_match_on_planar_and_nonplanar_instances(self, name, case):
+        """Same accept/reject decisions on both instance kinds, honest or forged."""
+        kwargs, yes_graph = scheme_instances()[name]
+        scheme = default_registry().create(name, **kwargs)
+        engine = SimulationEngine(seed=0)
+        graph = PLANAR_GRAPH if case == "planar" else NONPLANAR_GRAPH
+        network = Network(graph, seed=0)
+        try:
+            certificates = scheme.prove(network)
+        except NotInClassError:
+            # forge an assignment by recycling honest certificates from the
+            # scheme's yes-instance (arbitrary but deterministic)
+            donor_network = Network(yes_graph, seed=0)
+            donor = list(scheme.prove(donor_network).values())
+            certificates = {node: donor[index % len(donor)]
+                            for index, node in enumerate(network.nodes())}
+            naive = run_verification(scheme, network, certificates)
+            assert not naive.accepted  # soundness sanity on the forged side
+        assert_same_result(run_verification(scheme, network, certificates),
+                           engine.verify(scheme, network, certificates))
+
+    def test_count_accepting_matches_decision_sum(self):
+        scheme = default_registry().create("planarity-pls")
+        engine = SimulationEngine()
+        network = Network(PLANAR_GRAPH, seed=3)
+        certificates = scheme.prove(network)
+        naive = run_verification(scheme, network, certificates)
+        assert engine.count_accepting(scheme, network, certificates) == \
+            sum(naive.decisions.values())
+
+    def test_views_match_network_local_views(self):
+        engine = SimulationEngine()
+        network = Network(PLANAR_GRAPH, seed=3)
+        certificates = {node: index for index, node in enumerate(network.nodes())}
+        batched = engine.views(network, certificates)
+        for node, view in network.all_local_views(certificates).items():
+            assert batched[node] == view
+
+    def test_radius_two_scheme_matches_naive(self):
+        class BallScheme(ProofLabelingScheme):
+            name = "radius-2-ball"
+            verification_radius = 2
+
+            def is_member(self, graph):
+                return True
+
+            def prove(self, network):
+                return {node: network.graph.degree(node) for node in network.nodes()}
+
+            def verify(self, view: LocalView) -> bool:
+                return view.ball.number_of_nodes() > view.degree and \
+                    view.certificate == view.degree
+
+        scheme = BallScheme()
+        engine = SimulationEngine()
+        network = Network(PLANAR_GRAPH, seed=9)
+        certificates = scheme.prove(network)
+        assert_same_result(run_verification(scheme, network, certificates),
+                           engine.verify(scheme, network, certificates))
+
+
+class TestAttacksThroughEngine:
+    def setup_method(self):
+        self.scheme = default_registry().create("planarity-pls")
+        self.engine = SimulationEngine(seed=1)
+        twin = delaunay_planar_graph(20, seed=6)
+        self.network = Network(planar_plus_random_edges(20, extra_edges=2, seed=6),
+                               seed=6)
+        donor_ids = {node: self.network.id_of(node) for node in twin.nodes()} \
+            if set(twin.nodes()) == set(self.network.nodes()) else None
+        donor_network = Network(twin, ids=donor_ids, seed=6)
+        self.donor = self.scheme.prove(donor_network)
+
+    def test_transplant_attack_same_outcome(self):
+        plain = transplant_attack(self.scheme, self.network, self.donor, seed=2)
+        batched = transplant_attack(self.scheme, self.network, self.donor,
+                                    seed=2, engine=self.engine)
+        assert plain == batched
+
+    def test_random_attack_same_outcome(self):
+        def factory(rng, net, node):
+            return self.donor[rng.choice(list(self.donor))]
+
+        plain = random_certificate_attack(self.scheme, self.network, factory,
+                                          trials=5, seed=2)
+        batched = random_certificate_attack(self.scheme, self.network, factory,
+                                            trials=5, seed=2, engine=self.engine)
+        assert plain == batched
+
+    def test_explicit_rng_matches_seed(self):
+        def factory(rng, net, node):
+            return self.donor[rng.choice(list(self.donor))]
+
+        by_seed = random_certificate_attack(self.scheme, self.network, factory,
+                                            trials=4, seed=7)
+        by_rng = random_certificate_attack(self.scheme, self.network, factory,
+                                           trials=4, rng=random.Random(7))
+        assert by_seed == by_rng
+
+
+class TestEngineCaches:
+    def test_certify_caches_per_scheme_instance(self):
+        calls = []
+
+        class CountingScheme(type(default_registry().create("tree-pls"))):
+            def prove(self, network):
+                calls.append(1)
+                return super().prove(network)
+
+        scheme = CountingScheme()
+        engine = SimulationEngine()
+        network = Network(random_tree(12, seed=1), seed=1)
+        first = engine.certify(scheme, network)
+        second = engine.certify(scheme, network)
+        assert first is second
+        assert len(calls) == 1
+        assert engine.certify(scheme, network, cache=False) is not first
+        assert len(calls) == 2
+
+    def test_network_for_caches_by_graph_and_seed(self):
+        engine = SimulationEngine()
+        graph = random_tree(10, seed=2)
+        assert engine.network_for(graph, seed=1) is engine.network_for(graph, seed=1)
+        assert engine.network_for(graph, seed=1) is not engine.network_for(graph, seed=2)
+
+    def test_network_for_rebuilds_after_graph_mutation(self):
+        engine = SimulationEngine()
+        graph = random_tree(10, seed=6)
+        anchor = next(iter(graph.nodes()))
+        first = engine.network_for(graph, seed=1)
+        graph.add_edge(anchor, "brand-new-node")
+        second = engine.network_for(graph, seed=1)
+        assert second is not first
+        assert "brand-new-node" in second.nodes()
+
+    def test_network_for_seed_none_is_never_cached(self):
+        engine = SimulationEngine()
+        graph = random_tree(10, seed=7)
+        assert engine.network_for(graph) is not engine.network_for(graph)
+
+    def test_network_cache_is_bounded(self):
+        import gc
+        import weakref
+
+        engine = SimulationEngine(network_cache_size=2)
+        graphs = [random_tree(8, seed=s) for s in range(4)]
+        refs = [weakref.ref(g) for g in graphs]
+        for graph in graphs:
+            network = engine.network_for(graph, seed=0)
+            engine.structures(network, 1)  # populate dependent caches too
+        assert len(engine._networks) == 2
+        del graphs, network
+        gc.collect()
+        # evicted graphs are no longer pinned by the engine
+        assert sum(ref() is not None for ref in refs) == 2
+        assert len(engine._structures) == 2
+
+    def test_structures_cached_per_radius(self):
+        engine = SimulationEngine()
+        network = Network(random_tree(10, seed=3), seed=3)
+        assert engine.structures(network, 1) is engine.structures(network, 1)
+        assert engine.structures(network, 1) is not engine.structures(network, 2)
+
+    def test_graph_mutation_invalidates_network_caches(self):
+        scheme = default_registry().create("tree-pls")
+        engine = SimulationEngine()
+        graph = random_tree(10, seed=5)
+        network = Network(graph, seed=5)
+        certificates = engine.certify(scheme, network)
+        before = engine.verify(scheme, network, certificates)
+        assert before.accepted
+        leaf, inner = None, None
+        for node in graph.nodes():
+            if graph.degree(node) == 1:
+                leaf = node
+            elif graph.degree(node) > 1 and not graph.has_edge(node, leaf or node):
+                inner = node
+        graph.add_edge(leaf, inner)  # no longer a tree; old certs now invalid
+        stale_free = engine.verify(scheme, network, certificates)
+        assert stale_free.decisions == run_verification(scheme, network,
+                                                        certificates).decisions
+        # the stale prover artifact was dropped: re-certifying actually
+        # re-runs the prover, which now rejects the mutated (non-tree) graph
+        with pytest.raises(NotInClassError):
+            engine.certify(scheme, network)
+
+    def test_engine_views_are_safe_to_mutate(self):
+        scheme = default_registry().create("planarity-pls")
+        engine = SimulationEngine()
+        network = Network(PLANAR_GRAPH, seed=2)
+        certificates = engine.certify(scheme, network)
+        for view in engine.views(network, certificates).values():
+            view.neighbor_ids.sort(reverse=True)  # scratch work on the view
+        after = engine.verify(scheme, network, certificates)
+        assert after.decisions == run_verification(scheme, network,
+                                                   certificates).decisions
+
+    def test_clear_caches(self):
+        engine = SimulationEngine()
+        network = Network(random_tree(10, seed=3), seed=3)
+        first = engine.structures(network, 1)
+        engine.clear_caches()
+        assert engine.structures(network, 1) is not first
+
+    def test_certificate_stats_cached_only_for_honest_assignments(self):
+        scheme = default_registry().create("tree-pls")
+        engine = SimulationEngine()
+        network = Network(random_tree(12, seed=4), seed=4)
+        honest = engine.certify(scheme, network)
+        first = engine.verify(scheme, network, honest)
+        second = engine.verify(scheme, network, honest)
+        assert first.certificate_bits is second.certificate_bits
+        forged = dict(honest)
+        third = engine.verify(scheme, network, forged)
+        assert third.certificate_bits is not first.certificate_bits
+        assert third.certificate_bits == first.certificate_bits
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class TestTrialFanOut:
+    def test_run_trials_serial(self):
+        engine = SimulationEngine(workers=1)
+        assert engine.run_trials(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_run_trials_process_pool(self):
+        engine = SimulationEngine(workers=2)
+        assert engine.run_trials(_square, [3, 4, 5]) == [9, 16, 25]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(workers=0)
+
+    def test_trial_seeds_deterministic(self):
+        engine = SimulationEngine(seed=42)
+        assert engine.trial_seed(3) == derive_seed(42, 3)
+        assert engine.trial_seed(3) == SimulationEngine(seed=42).trial_seed(3)
+        assert engine.trial_seed(3) != engine.trial_seed(4)
+        assert SimulationEngine().trial_seed(3) is None
+
+    def test_engine_rng_reproducible(self):
+        a = SimulationEngine(seed=9).rng(2).random()
+        b = SimulationEngine(seed=9).rng(2).random()
+        assert a == b
+
+
+class TestNetworkRngPlumbing:
+    def test_explicit_rng_matches_seed(self):
+        graph = random_tree(14, seed=8)
+        by_seed = Network(graph, seed=8)
+        by_rng = Network(graph, rng=random.Random(8))
+        assert by_seed.ids() == by_rng.ids()
+
+    def test_single_generator_drives_sequential_networks(self):
+        graph = random_tree(14, seed=8)
+        rng = random.Random(8)
+        first = Network(graph, rng=rng)
+        second = Network(graph, rng=rng)
+        assert first.ids() != second.ids()  # the stream advanced

@@ -1,0 +1,114 @@
+"""Tests for the :class:`SchemeRegistry` and the default registry contents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planarity_scheme import PlanarityScheme
+from repro.distributed.registry import SchemeRegistry, default_registry
+from repro.distributed.scheme import SchemeDescription
+from repro.exceptions import RegistryError
+
+EXPECTED_NAMES = {
+    "planarity-pls",
+    "non-planarity-pls",
+    "path-outerplanarity-pls",
+    "path-graph-pls",
+    "tree-pls",
+    "universal-map-pls",
+    "planarity-dmam",
+}
+
+
+class TestDefaultRegistry:
+    def test_every_builtin_scheme_is_registered(self):
+        registry = default_registry()
+        assert set(registry.names()) == EXPECTED_NAMES
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+
+    def test_kinds(self):
+        registry = default_registry()
+        assert registry.names("interactive") == ["planarity-dmam"]
+        assert set(registry.names("pls")) == EXPECTED_NAMES - {"planarity-dmam"}
+
+    def test_create_returns_fresh_instances(self):
+        registry = default_registry()
+        a = registry.create("planarity-pls")
+        b = registry.create("planarity-pls")
+        assert isinstance(a, PlanarityScheme)
+        assert a is not b
+
+    def test_create_forwards_kwargs(self):
+        scheme = default_registry().create("path-outerplanarity-pls",
+                                           witness=[1, 2, 3])
+        assert scheme.witness == [1, 2, 3]
+
+    def test_descriptions_match_scheme_attributes(self):
+        registry = default_registry()
+        for name in EXPECTED_NAMES:
+            description = registry.describe(name)
+            assert isinstance(description, SchemeDescription)
+            assert description.name == name
+        dmam = registry.describe("planarity-dmam")
+        assert dmam.interactions == 3
+        assert dmam.randomized is True
+
+    def test_description_rows(self):
+        rows = default_registry().description_rows()
+        assert {row["scheme"] for row in rows} == EXPECTED_NAMES
+
+
+class TestRegistryBehaviour:
+    def test_duplicate_registration_raises(self):
+        registry = SchemeRegistry()
+        registry.register("planarity-pls", PlanarityScheme)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("planarity-pls", PlanarityScheme)
+
+    def test_replace_overwrites(self):
+        registry = SchemeRegistry()
+        registry.register("planarity-pls", PlanarityScheme)
+        entry = registry.register("planarity-pls", PlanarityScheme, replace=True)
+        assert registry.entry("planarity-pls") is entry
+
+    def test_unknown_name_raises_with_known_names(self):
+        registry = SchemeRegistry()
+        registry.register("planarity-pls", PlanarityScheme)
+        with pytest.raises(RegistryError, match="planarity-pls"):
+            registry.create("no-such-scheme")
+
+    def test_unknown_kind_raises(self):
+        registry = SchemeRegistry()
+        with pytest.raises(RegistryError, match="kind"):
+            registry.register("x", PlanarityScheme, kind="quantum")
+
+    def test_unregister(self):
+        registry = SchemeRegistry()
+        registry.register("planarity-pls", PlanarityScheme)
+        registry.unregister("planarity-pls")
+        assert "planarity-pls" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("planarity-pls")
+
+    def test_container_protocol(self):
+        registry = SchemeRegistry()
+        assert len(registry) == 0
+        registry.register("planarity-pls", PlanarityScheme)
+        assert "planarity-pls" in registry
+        assert len(registry) == 1
+        assert [entry.name for entry in registry] == ["planarity-pls"]
+
+    def test_explicit_description_skips_factory_call(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return PlanarityScheme()
+
+        registry = SchemeRegistry()
+        description = SchemeDescription("custom", 1, False, 1)
+        registry.register("custom", factory, description=description)
+        assert registry.describe("custom") is description
+        assert not calls
