@@ -44,13 +44,20 @@ SEED = 2020  # PODC 2020
 
 #: full-sweep sizes for the planarity legs and the non-planarity attacks
 FULL_SIZES = [300, 700, 1200, 2000]
-#: the Kuratowski prover is quadratic, so its completeness legs stay small
-FULL_NP_SIZES = [120, 240]
+#: honest Kuratowski extraction exits early on witness instances (linear, see
+#: repro.graphs.kuratowski), so the completeness legs reach n >= 1000 now
+FULL_NP_SIZES = [300, 1000]
 FULL_TRIALS = 8
 
 QUICK_SIZES = [120, 240]
 QUICK_NP_SIZES = [60]
 QUICK_TRIALS = 3
+
+#: sizes of the process-pool section (the planarity attack legs re-proven
+#: inside each worker, so the heavier sweep sizes are left out)
+FULL_POOL_SIZES = [300, 700]
+QUICK_POOL_SIZES = [120, 240]
+POOL_WORKERS = 2
 
 
 def _add_extra_edges(planar: Graph, count: int, seed: int) -> Graph:
@@ -166,6 +173,61 @@ def run_sweep(instances: dict[str, Any], trials: int,
     return outcomes, time.perf_counter() - start
 
 
+def _pool_attack_leg(spec: tuple[int, int, int]) -> list[Any]:
+    """Process-pool worker: rebuild one planarity soundness leg and attack it.
+
+    Must be a module-level function of a picklable spec ``(n, seed, trials)``
+    — each worker process rebuilds the instance, the honest certificates, and
+    a fresh engine, so legs are fully independent.
+    """
+    n, seed, trials = spec
+    pls = default_registry().create("planarity-pls")
+    planar = delaunay_planar_graph(n, seed=seed)
+    planar_net = Network(planar, seed=seed)
+    nonplanar = _add_extra_edges(planar, 3, seed=seed)
+    nonplanar_net = Network(
+        nonplanar, ids={node: planar_net.id_of(node) for node in nonplanar.nodes()})
+    honest = pls.prove(planar_net)
+    donor_nodes = list(honest)
+
+    def factory(rng, net, node):
+        return honest[rng.choice(donor_nodes)]
+
+    attack = random_certificate_attack(pls, nonplanar_net, factory,
+                                       trials=trials, seed=SEED,
+                                       engine=SimulationEngine(seed=SEED))
+    return [n, attack.best_accepting_nodes, attack.fooled]
+
+
+def run_pool_section(pool_sizes: list[int], trials: int) -> dict[str, Any]:
+    """Exercise :meth:`SimulationEngine.run_trials` serially and with a pool.
+
+    Returns the recorded comparison; raises when the pooled results diverge
+    from the serial ones (they are derived from identical specs and seeds).
+    """
+    specs = [(n, SEED + n, trials) for n in pool_sizes]
+    serial_engine = SimulationEngine(seed=SEED, workers=1)
+    start = time.perf_counter()
+    serial_results = serial_engine.run_trials(_pool_attack_leg, specs)
+    serial_seconds = time.perf_counter() - start
+    pool_engine = SimulationEngine(seed=SEED, workers=POOL_WORKERS)
+    start = time.perf_counter()
+    pool_results = pool_engine.run_trials(_pool_attack_leg, specs)
+    pool_seconds = time.perf_counter() - start
+    if serial_results != pool_results:
+        raise SystemExit("process-pool results diverge from the serial run")
+    return {
+        "workers": POOL_WORKERS,
+        "sizes": pool_sizes,
+        "attack_trials": trials,
+        "serial_seconds": round(serial_seconds, 3),
+        "pool_seconds": round(pool_seconds, 3),
+        "outcomes_identical": True,
+        # leg size, best accepting-node count, whether the attack fooled all
+        "results": serial_results,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -195,6 +257,12 @@ def main() -> None:
     if not identical:
         raise SystemExit("engine outcomes diverge from the reference loop")
 
+    pool_sizes = QUICK_POOL_SIZES if args.quick else FULL_POOL_SIZES
+    print(f"running pooled attack legs (workers={POOL_WORKERS}, sizes={pool_sizes}) ...")
+    pool_section = run_pool_section(pool_sizes, trials)
+    print(f"  serial {pool_section['serial_seconds']:.2f}s, "
+          f"pool {pool_section['pool_seconds']:.2f}s")
+
     accept_summary = [o[:2] + [sum(d for _, d in o[2]), len(o[2])]
                       if o[0].endswith("completeness") else o
                       for o in reference_outcomes]
@@ -211,6 +279,7 @@ def main() -> None:
         "speedup": round(speedup, 2),
         "outcomes_identical": identical,
         "outcome_summary": accept_summary,
+        "trial_pool": pool_section,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

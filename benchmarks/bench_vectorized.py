@@ -1,0 +1,142 @@
+"""Bulk-verification benchmark: the PR-1 engine path vs the vectorized kernels.
+
+Runs a fixed-seed bulk sweep over the building-block schemes
+(``path-graph-pls`` on path graphs, ``tree-pls`` on random trees): for every
+instance, one honest full verification plus a batch of decision-only
+evaluations of randomly corrupted assignments — the shape of a soundness
+attack's inner loop.  The sweep runs twice through the *same*
+:class:`~repro.distributed.engine.SimulationEngine` machinery:
+
+* **engine-reference** — the PR-1 path: cached structural views, one Python
+  verifier call per node;
+* **engine-vectorized** — ``backend="vectorized"``: the
+  :mod:`repro.vectorized` kernels decide all nodes at once over the CSR
+  arrays.
+
+Per-node decisions and accept counts must match exactly (the script asserts
+this); the wall-clock of both passes and their ratio go to
+``BENCH_vectorized.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_vectorized.py --quick    # CI smoke sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
+from repro.graphs.generators import path_graph, random_tree
+
+SEED = 2020  # PODC 2020
+
+FULL_SIZES = [300, 1000, 3000]
+FULL_TRIALS = 40
+QUICK_SIZES = [120, 300]
+QUICK_TRIALS = 8
+
+
+def corrupted_assignment(honest: dict, nodes: list, rng: random.Random) -> dict:
+    """One adversarial variant of ``honest``: a few swaps plus one dropped
+    certificate — enough to flip a handful of per-node decisions."""
+    certificates = dict(honest)
+    for _ in range(3):
+        a, b = rng.sample(nodes, 2)
+        certificates[a], certificates[b] = certificates[b], certificates[a]
+    certificates[rng.choice(nodes)] = None
+    return certificates
+
+
+def build_sweep(sizes: list[int], trials: int) -> list[dict[str, Any]]:
+    """Instances, honest assignments, and corrupted batches (untimed setup)."""
+    registry = default_registry()
+    legs = []
+    for n in sizes:
+        for scheme_name, graph in [("path-graph-pls", path_graph(n)),
+                                   ("tree-pls", random_tree(n, seed=SEED + n))]:
+            scheme = registry.create(scheme_name)
+            network = Network(graph, seed=SEED + n)
+            honest = scheme.prove(network)
+            nodes = list(honest)
+            rng = random.Random(SEED * 31 + n)
+            batch = [corrupted_assignment(honest, nodes, rng)
+                     for _ in range(trials)]
+            legs.append({"scheme": scheme, "scheme_name": scheme_name, "n": n,
+                         "network": network, "honest": honest, "batch": batch})
+    return legs
+
+
+def run_sweep(legs: list[dict[str, Any]], backend: str) -> tuple[list[Any], float]:
+    """Run the sweep through one backend; returns ``(outcomes, seconds)``."""
+    engine = SimulationEngine(seed=SEED, backend=backend)
+    outcomes: list[Any] = []
+    start = time.perf_counter()
+    for leg in legs:
+        scheme, network = leg["scheme"], leg["network"]
+        result = engine.verify(scheme, network, leg["honest"])
+        decisions = [[network.id_of(node), accepted]
+                     for node, accepted in result.decisions.items()]
+        counts = [engine.count_accepting(scheme, network, certificates)
+                  for certificates in leg["batch"]]
+        outcomes.append([leg["scheme_name"], leg["n"], decisions, counts])
+    return outcomes, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for the CI smoke job")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_vectorized.json")
+    args = parser.parse_args()
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    trials = QUICK_TRIALS if args.quick else FULL_TRIALS
+
+    print(f"building sweep instances (sizes={sizes}, trials={trials}) ...")
+    legs = build_sweep(sizes, trials)
+
+    print("running engine, reference backend ...")
+    reference_outcomes, reference_seconds = run_sweep(legs, "reference")
+    print(f"  {reference_seconds:.2f}s")
+    print("running engine, vectorized backend ...")
+    vectorized_outcomes, vectorized_seconds = run_sweep(legs, "vectorized")
+    print(f"  {vectorized_seconds:.2f}s")
+
+    identical = reference_outcomes == vectorized_outcomes
+    speedup = reference_seconds / vectorized_seconds if vectorized_seconds else float("inf")
+    print(f"outcomes identical: {identical}; speedup: {speedup:.2f}x")
+    if not identical:
+        raise SystemExit("vectorized outcomes diverge from the reference backend")
+
+    summary = [[o[0], o[1], sum(d for _, d in o[2]), len(o[2]),
+                min(o[3]), max(o[3])] for o in reference_outcomes]
+    payload = {
+        "benchmark": "building-block bulk sweep, engine reference backend vs vectorized kernels",
+        "schemes": sorted({o[0] for o in reference_outcomes}),
+        "seed": SEED,
+        "quick": args.quick,
+        "sweep": {"sizes": sizes, "corrupted_assignments_per_instance": trials},
+        "reference_seconds": round(reference_seconds, 3),
+        "vectorized_seconds": round(vectorized_seconds, 3),
+        "speedup": round(speedup, 2),
+        "outcomes_identical": identical,
+        # scheme, n, accepting nodes (honest), n nodes, min/max accept count
+        # over the corrupted batch
+        "outcome_summary": summary,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 Run with::
 
     PYTHONPATH=src python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py --backend vectorized
 
 The example resolves the Theorem 1 proof-labeling scheme through the
 :class:`~repro.distributed.registry.SchemeRegistry`, runs the honest prover
@@ -10,24 +11,33 @@ and the batched :class:`~repro.distributed.engine.SimulationEngine` verifier
 over a small planar network, and reports the exact certificate sizes.  It
 then shows the soundness side: on a non-planar network, replaying
 certificates of a planar sub-network leaves at least one node rejecting.
+
+``--backend vectorized`` routes every verification in this script through
+the :mod:`repro.vectorized` array kernels: the building-block section runs
+on its registered kernel, while schemes without one (planarity) fall back to
+the reference verifier transparently — same decisions either way.
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.analysis.tables import print_table
-from repro.distributed.engine import SimulationEngine
+from repro.distributed.engine import BACKENDS, SimulationEngine
 from repro.distributed.registry import default_registry
-from repro.graphs.generators import delaunay_planar_graph, planar_plus_random_edges
+from repro.graphs.generators import (
+    delaunay_planar_graph,
+    planar_plus_random_edges,
+    random_tree,
+)
 from repro.graphs.planarity import is_planar
 
-ENGINE = SimulationEngine(seed=1)
-SCHEME = default_registry().create("planarity-pls")
 
-
-def certify_planar_network() -> None:
+def certify_planar_network(engine: SimulationEngine) -> None:
     """Completeness: an honest prover convinces every node of a planar network."""
+    scheme = default_registry().create("planarity-pls")
     graph = delaunay_planar_graph(40, seed=1)
-    result = ENGINE.certify_and_verify(SCHEME, graph, seed=1)
+    result = engine.certify_and_verify(scheme, graph, seed=1)
 
     print("== Certifying a planar network (Delaunay triangulation, n = 40) ==")
     print(f"all nodes accept          : {result.accepted}")
@@ -37,11 +47,27 @@ def certify_planar_network() -> None:
     print()
 
 
-def reject_nonplanar_network() -> None:
+def certify_building_block(engine: SimulationEngine) -> None:
+    """The spanning-tree building block, served by its vectorized kernel."""
+    scheme = default_registry().create("tree-pls")
+    graph = random_tree(60, seed=3)
+    result = engine.certify_and_verify(scheme, graph, seed=3)
+
+    kernel = default_registry().kernel_for(scheme)
+    print("== Certifying a tree network (building-block scheme, n = 60) ==")
+    print(f"verification backend      : {engine.backend}"
+          + (" (array kernel)" if kernel and engine.backend == "vectorized" else ""))
+    print(f"all nodes accept          : {result.accepted}")
+    print(f"largest certificate       : {result.max_certificate_bits} bits")
+    print()
+
+
+def reject_nonplanar_network(engine: SimulationEngine) -> None:
     """Soundness: no certificate assignment convinces every node of a non-planar network."""
+    scheme = default_registry().create("planarity-pls")
     graph = planar_plus_random_edges(20, extra_edges=1, seed=2)
     assert not is_planar(graph)
-    network = ENGINE.network_for(graph, seed=2)
+    network = engine.network_for(graph, seed=2)
 
     # the strongest cheap attack: certify a planar sub-network honestly and
     # replay those certificates on the real (non-planar) network
@@ -52,10 +78,10 @@ def reject_nonplanar_network() -> None:
         twin.remove_edge(u, v)
         if not twin.is_connected():
             twin.add_edge(u, v)
-    donor_network = ENGINE.network_for(
+    donor_network = engine.network_for(
         twin, ids={node: network.id_of(node) for node in twin.nodes()})
-    transplanted = SCHEME.prove(donor_network)
-    result = ENGINE.verify(SCHEME, network, transplanted)
+    transplanted = scheme.prove(donor_network)
+    result = engine.verify(scheme, network, transplanted)
 
     print("== Attacking a non-planar network (planar graph + 1 crossing link) ==")
     print(f"all nodes accept          : {result.accepted}")
@@ -71,7 +97,20 @@ def list_registered_schemes() -> None:
     print()
 
 
-if __name__ == "__main__":
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=BACKENDS, default="reference",
+                        help="verification backend used by the engine "
+                             "(schemes without a vectorized kernel fall back "
+                             "to the reference verifier)")
+    args = parser.parse_args()
+    engine = SimulationEngine(seed=1, backend=args.backend)
+
     list_registered_schemes()
-    certify_planar_network()
-    reject_nonplanar_network()
+    certify_planar_network(engine)
+    certify_building_block(engine)
+    reject_nonplanar_network(engine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,27 @@
-"""Setuptools shim so that ``pip install -e .`` works without network access.
+"""Setuptools entry point (kept as a plain ``setup.py`` so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package needed by the PEP 517 editable-install path)."""
+from setuptools import find_packages, setup
 
-The actual project metadata lives in ``pyproject.toml``; this file only
-exists because the offline environment lacks the ``wheel`` package needed by
-the PEP 517 editable-install path.
-"""
-from setuptools import setup
-
-setup()
+setup(
+    name="repro-podc-planarity",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=("Reproduction of 'Compact Distributed Certification of "
+                 "Planar Graphs' (PODC 2020)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=[
+        # planarity/embedding backend of the honest prover
+        "networkx>=3.0",
+        # CSR arrays + the repro.vectorized bulk-verification kernels
+        # (the library degrades gracefully without it: the vectorized
+        # backend falls back to the reference verifier)
+        "numpy>=1.24",
+    ],
+    extras_require={
+        # Delaunay instance generator and the benchmark harness
+        "benchmarks": ["scipy", "pytest-benchmark"],
+        "tests": ["pytest", "hypothesis"],
+    },
+)

@@ -9,6 +9,9 @@ The package is organised as:
 * :mod:`repro.core` -- the paper's contribution: the path-outerplanarity
   scheme (Lemma 2), the tree-cut transformation (Lemmas 3-4), the planarity
   proof-labeling scheme (Theorem 1), and the folklore non-planarity scheme;
+* :mod:`repro.vectorized` -- bulk verification: numpy kernels deciding all
+  nodes at once over the compiled CSR arrays (``backend="vectorized"`` on
+  the simulation engine);
 * :mod:`repro.lowerbound` -- the lower-bound constructions of Theorem 2;
 * :mod:`repro.baselines` -- the universal scheme and the dMAM interactive
   protocol the paper compares against;

@@ -10,7 +10,7 @@ from repro.distributed.verifier import (
     run_verification,
 )
 from repro.distributed.congest import SynchronousSimulator
-from repro.distributed.engine import NodeStructure, SimulationEngine, derive_seed
+from repro.distributed.engine import BACKENDS, NodeStructure, SimulationEngine, derive_seed
 from repro.distributed.registry import RegistryEntry, SchemeRegistry, default_registry
 from repro.distributed.interactive import (
     InteractiveProtocol,
@@ -38,6 +38,7 @@ __all__ = [
     "completeness_holds",
     "run_verification",
     "SynchronousSimulator",
+    "BACKENDS",
     "SimulationEngine",
     "NodeStructure",
     "derive_seed",

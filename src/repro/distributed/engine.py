@@ -28,7 +28,22 @@ certificate assignment out of the per-trial loop:
 * **trial fan-out** — independent trials (completeness sweep points,
   soundness attacks) can be distributed over a process pool with
   :meth:`run_trials`, with per-trial seeds derived deterministically from the
-  engine seed.
+  engine seed;
+* **vectorized backend** — schemes that registered a
+  :class:`~repro.vectorized.kernels.VectorizedKernel` (see
+  :mod:`repro.vectorized`) can be verified with array kernels over the
+  network's CSR arrays instead of the per-node Python loop: construct the
+  engine with ``backend="vectorized"`` (or pass ``backend=`` per call) and
+  :meth:`verify` / :meth:`count_accepting` — and therefore every attack or
+  sweep evaluated through this engine instance — use the kernels
+  transparently.  (:meth:`run_trials` workers run in separate processes and
+  construct their own engines, so give those the backend explicitly.)  The
+  fallback rules keep the backend
+  decision-preserving: schemes without a kernel, radius > 1, networks the
+  compiler refuses (n < 2, oversized identifiers, numpy missing) run the
+  reference path wholesale, and individual nodes that can see a certificate
+  the array form cannot represent exactly are re-decided by the reference
+  verifier.
 
 The engine is behaviour-preserving: :meth:`verify` returns a
 :class:`~repro.distributed.verifier.VerificationResult` equal field-for-field
@@ -50,7 +65,10 @@ from repro.distributed.scheme import ProofLabelingScheme
 from repro.distributed.verifier import VerificationResult, certificate_statistics
 from repro.graphs.graph import Graph, Node
 
-__all__ = ["SimulationEngine", "NodeStructure", "derive_seed"]
+__all__ = ["SimulationEngine", "NodeStructure", "derive_seed", "BACKENDS"]
+
+#: verification backends selectable on the engine (and per call)
+BACKENDS = ("reference", "vectorized")
 
 
 def derive_seed(seed: int | None, index: int) -> int | None:
@@ -89,17 +107,33 @@ class SimulationEngine:
         cached network necessarily pins its graph, so this cache is a
         bounded LRU rather than weakref-evicted; evicting a network also
         drops its structural, prover, and size caches.
+    backend:
+        Default verification backend of :meth:`verify` and
+        :meth:`count_accepting` — ``"reference"`` (the per-node loop) or
+        ``"vectorized"`` (array kernels for schemes that registered one,
+        reference fallback for everything else).  Either method also takes a
+        per-call ``backend=`` override.
+    kernel_registry:
+        Registry the vectorized backend resolves kernels from (anything with
+        a ``kernel_for(scheme)`` method, normally a
+        :class:`~repro.distributed.registry.SchemeRegistry`); ``None`` uses
+        :func:`~repro.distributed.registry.default_registry`.
     """
 
     def __init__(self, workers: int = 1, seed: int | None = None,
-                 network_cache_size: int = 32) -> None:
+                 network_cache_size: int = 32, backend: str = "reference",
+                 kernel_registry: Any = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if network_cache_size < 1:
             raise ValueError("network_cache_size must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.workers = workers
         self.seed = seed
         self.network_cache_size = network_cache_size
+        self.backend = backend
+        self.kernel_registry = kernel_registry
         # structural views per network: id(network) -> {radius: [NodeStructure]}
         self._structures: dict[int, dict[int, list[NodeStructure]]] = {}
         # honest certificates per network: id(network) -> {id(scheme): certs}
@@ -109,6 +143,9 @@ class SimulationEngine:
         # encoded certificate sizes of honest assignments:
         # id(network) -> {id(certificates): sizes}
         self._stats_cache: dict[int, dict[int, dict[Node, int]]] = {}
+        # compiled VectorContext (or None for refused networks) per network:
+        # id(network) -> VectorContext | None
+        self._vector_contexts: dict[int, Any] = {}
         # graph mutation counter observed when a network's caches were built:
         # id(network) -> Graph._version
         self._versions: dict[int, int] = {}
@@ -139,6 +176,7 @@ class SimulationEngine:
         self._structures.clear()
         self._prover_cache.clear()
         self._stats_cache.clear()
+        self._vector_contexts.clear()
         self._versions.clear()
         self._networks.clear()
         self._finalizers.clear()
@@ -152,12 +190,14 @@ class SimulationEngine:
         :meth:`Graph.indexed`) makes every one of them stale at once.
         """
         key = self._track(network, self._structures, self._prover_cache,
-                          self._stats_cache, self._versions)
+                          self._stats_cache, self._vector_contexts,
+                          self._versions)
         version = network.graph._version
         if self._versions.get(key, version) != version:
             self._structures.pop(key, None)
             self._prover_cache.pop(key, None)
             self._stats_cache.pop(key, None)
+            self._vector_contexts.pop(key, None)
         self._versions[key] = version
         return key
 
@@ -196,6 +236,7 @@ class SimulationEngine:
             self._structures.pop(evicted_key, None)
             self._prover_cache.pop(evicted_key, None)
             self._stats_cache.pop(evicted_key, None)
+            self._vector_contexts.pop(evicted_key, None)
             self._versions.pop(evicted_key, None)
             self._finalizers.pop(evicted_key, None)
         return network
@@ -280,19 +321,99 @@ class SimulationEngine:
         )
 
     def verify(self, scheme: ProofLabelingScheme, network: Network,
-               certificates: dict[Node, Any]) -> VerificationResult:
-        """Batched equivalent of :func:`~repro.distributed.verifier.run_verification`."""
+               certificates: dict[Node, Any],
+               backend: str | None = None) -> VerificationResult:
+        """Batched equivalent of :func:`~repro.distributed.verifier.run_verification`.
+
+        ``backend`` overrides the engine default for this call; under
+        ``"vectorized"`` the per-node decisions come from the scheme's array
+        kernel when one is registered (see the class docstring for the
+        fallback rules) and are identical to the reference loop's either way.
+        """
         radius = scheme.verification_radius
-        verify = scheme.verify
-        view = self._view
-        decisions = {s.node: bool(verify(view(s, certificates, radius)))
-                     for s in self.structures(network, radius)}
+        decisions = self._decide(scheme, network, certificates, backend)
         return VerificationResult(
             scheme_name=scheme.name,
             decisions=decisions,
             certificate_bits=self._certificate_stats(network, certificates),
             verification_radius=radius,
         )
+
+    def _decide(self, scheme: ProofLabelingScheme, network: Network,
+                certificates: dict[Node, Any],
+                backend: str | None) -> dict[Node, bool]:
+        """Per-node decisions through the selected backend."""
+        accept = None
+        if self._resolve_backend(backend) == "vectorized":
+            accept = self._accept_vector(scheme, network, certificates)
+        radius = scheme.verification_radius
+        if accept is None:
+            verify = scheme.verify
+            view = self._view
+            return {s.node: bool(verify(view(s, certificates, radius)))
+                    for s in self.structures(network, radius)}
+        labels = network.graph.indexed().labels
+        return {label: bool(accept[i]) for i, label in enumerate(labels)}
+
+    def _resolve_backend(self, backend: str | None) -> str:
+        if backend is None:
+            return self.backend
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        return backend
+
+    def _kernel_for(self, scheme: ProofLabelingScheme) -> Any | None:
+        """Resolve the scheme's vectorized kernel (``None`` → reference path)."""
+        registry = self.kernel_registry
+        if registry is None:
+            from repro.distributed.registry import default_registry
+
+            registry = default_registry()
+        return registry.kernel_for(scheme)
+
+    def _vector_context(self, network: Network) -> Any | None:
+        """Return the cached compiled :class:`VectorContext` of ``network``.
+
+        ``None`` entries (networks the compiler refuses) are cached too, so a
+        hot reference-fallback loop does not recompile per trial.
+        """
+        key = self._network_key(network)
+        try:
+            return self._vector_contexts[key]
+        except KeyError:
+            from repro.vectorized import build_vector_context
+
+            ctx = build_vector_context(network)
+            self._vector_contexts[key] = ctx
+            return ctx
+
+    def _accept_vector(self, scheme: ProofLabelingScheme, network: Network,
+                       certificates: dict[Node, Any]) -> Any | None:
+        """Per-node accept vector via the scheme's kernel, or ``None``.
+
+        ``None`` means the vectorized backend cannot serve this call (no
+        kernel, radius > 1, or the network has no vector context) and the
+        caller must run the reference loop.  Nodes the kernel flags as
+        fallback — their view contains a certificate the array form cannot
+        represent exactly — are re-decided here with the reference verifier
+        on the cached structures, so the returned vector is always exact.
+        """
+        if scheme.verification_radius != 1:
+            return None
+        kernel = self._kernel_for(scheme)
+        if kernel is None:
+            return None
+        ctx = self._vector_context(network)
+        if ctx is None:
+            return None
+        accept, fallback = kernel.accept_vector(ctx, scheme, certificates)
+        if fallback.any():
+            structures = self.structures(network, 1)
+            verify = scheme.verify
+            view = self._view
+            for i in fallback.nonzero()[0]:
+                accept[i] = bool(verify(view(structures[i], certificates, 1)))
+        return accept
 
     def _certificate_stats(self, network: Network,
                            certificates: dict[Node, Any]) -> dict[Node, int]:
@@ -315,13 +436,19 @@ class SimulationEngine:
         return stats
 
     def count_accepting(self, scheme: ProofLabelingScheme, network: Network,
-                        certificates: dict[Node, Any]) -> int:
+                        certificates: dict[Node, Any],
+                        backend: str | None = None) -> int:
         """Return how many nodes accept, skipping certificate-size accounting.
 
         This is the adversary's inner loop: attacks only rank assignments by
         the number of convinced nodes, so the bit-exact encoding pass of
-        :func:`run_verification` would be pure overhead here.
+        :func:`run_verification` would be pure overhead here.  ``backend``
+        behaves as in :meth:`verify`.
         """
+        if self._resolve_backend(backend) == "vectorized":
+            accept = self._accept_vector(scheme, network, certificates)
+            if accept is not None:
+                return int(accept.sum())
         radius = scheme.verification_radius
         verify = scheme.verify
         view = self._view

@@ -51,10 +51,20 @@ class RegistryEntry:
 
 
 class SchemeRegistry:
-    """A mapping ``name -> RegistryEntry`` with duplicate protection."""
+    """A mapping ``name -> RegistryEntry`` with duplicate protection.
+
+    Besides the scheme factories, the registry also tracks the optional
+    *vectorized kernels* (see :mod:`repro.vectorized`): a scheme opts into
+    the bulk-verification backend by registering a
+    :class:`~repro.vectorized.kernels.VectorizedKernel` under its name, and
+    the :class:`~repro.distributed.engine.SimulationEngine` resolves kernels
+    through :meth:`kernel_for`.  Schemes without a kernel simply fall back to
+    the reference per-node verifier.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, RegistryEntry] = {}
+        self._kernels: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def register(self, name: str, factory: Callable[..., Any], *,
@@ -89,10 +99,57 @@ class SchemeRegistry:
         return entry
 
     def unregister(self, name: str) -> None:
-        """Remove ``name``; raise :class:`RegistryError` if absent."""
+        """Remove ``name`` (and its kernel); raise :class:`RegistryError` if absent."""
         if name not in self._entries:
             raise RegistryError(f"scheme {name!r} is not registered")
         del self._entries[name]
+        self._kernels.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # vectorized kernels
+    # ------------------------------------------------------------------
+    def register_kernel(self, name: str, kernel: Any, *,
+                        replace: bool = False) -> None:
+        """Attach a vectorized kernel to the scheme registered under ``name``.
+
+        The scheme must already be registered (a kernel is an accelerator of
+        an existing verifier, never a scheme of its own).  Registering a
+        second kernel for the same name raises
+        :class:`~repro.exceptions.RegistryError` unless ``replace`` is True.
+        """
+        if name not in self._entries:
+            raise RegistryError(
+                f"cannot register a kernel for unknown scheme {name!r}")
+        if not replace and name in self._kernels:
+            raise RegistryError(f"scheme {name!r} already has a kernel")
+        self._kernels[name] = kernel
+
+    def unregister_kernel(self, name: str) -> None:
+        """Detach the kernel of ``name``; raise :class:`RegistryError` if absent."""
+        if name not in self._kernels:
+            raise RegistryError(f"scheme {name!r} has no kernel")
+        del self._kernels[name]
+
+    def kernel(self, name: str) -> Any | None:
+        """Return the kernel registered under ``name``, or ``None``."""
+        return self._kernels.get(name)
+
+    def kernel_for(self, scheme: Any) -> Any | None:
+        """Return a kernel that exactly reproduces ``scheme``, or ``None``.
+
+        Resolution is by the scheme's ``name`` attribute plus the kernel's
+        own ``supports`` check (which rejects subclasses and decision-changing
+        parametrisations), so a ``None`` here means "use the reference
+        verifier" — never an approximation.
+        """
+        kernel = self._kernels.get(getattr(scheme, "name", ""))
+        if kernel is not None and kernel.supports(scheme):
+            return kernel
+        return None
+
+    def kernel_names(self) -> list[str]:
+        """Return the scheme names that have a vectorized kernel."""
+        return sorted(self._kernels)
 
     # ------------------------------------------------------------------
     def entry(self, name: str) -> RegistryEntry:
@@ -161,6 +218,8 @@ def _register_builtin_schemes(registry: SchemeRegistry) -> None:
     from repro.core.planarity_scheme import PlanarityScheme
     from repro.core.po_scheme import PathOuterplanarScheme
 
+    from repro.vectorized import builtin_kernels
+
     registry.register(PlanarityScheme.name, PlanarityScheme)
     registry.register(NonPlanarityScheme.name, NonPlanarityScheme)
     registry.register(PathOuterplanarScheme.name, PathOuterplanarScheme)
@@ -169,3 +228,5 @@ def _register_builtin_schemes(registry: SchemeRegistry) -> None:
     registry.register(UniversalPlanarityScheme.name, UniversalPlanarityScheme)
     registry.register(PlanarityDMAMProtocol.name, PlanarityDMAMProtocol,
                       kind="interactive")
+    for kernel in builtin_kernels():  # empty when numpy is unavailable
+        registry.register_kernel(kernel.scheme_name, kernel)

@@ -51,7 +51,8 @@ class IndexedGraph:
         helpers historically used.
     """
 
-    __slots__ = ("labels", "index_of", "indptr", "indices", "degrees")
+    __slots__ = ("labels", "index_of", "indptr", "indices", "degrees",
+                 "_csr_arrays")
 
     def __init__(self, labels: list["Node"], indptr: list[int],
                  indices: list[int],
@@ -63,6 +64,7 @@ class IndexedGraph:
         self.indptr = indptr
         self.indices = indices
         self.degrees = [indptr[i + 1] - indptr[i] for i in range(len(labels))]
+        self._csr_arrays: tuple | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -124,6 +126,28 @@ class IndexedGraph:
     def degree_of(self, i: int) -> int:
         """Return the degree of index ``i``."""
         return self.degrees[i]
+
+    def csr_arrays(self) -> tuple:
+        """Return ``(indptr, indices)`` as cached numpy ``int64`` arrays.
+
+        This is the substrate of the :mod:`repro.vectorized` bulk-verification
+        kernels: the adjacency blocks keep their repr-sorted layout, so array
+        gathers over ``indices`` see neighbors in the same deterministic order
+        as the Python traversal helpers.  The arrays are materialised once per
+        compiled graph and must be treated as read-only.
+
+        Raises :class:`ImportError` when numpy is unavailable; callers that
+        merely *prefer* the arrays (the vectorized verification backend) gate
+        on availability and fall back to the list-based accessors.
+        """
+        cached = self._csr_arrays
+        if cached is None:
+            import numpy
+
+            cached = (numpy.asarray(self.indptr, dtype=numpy.int64),
+                      numpy.asarray(self.indices, dtype=numpy.int64))
+            self._csr_arrays = cached
+        return cached
 
     def edges_indexed(self) -> Iterator[tuple[int, int]]:
         """Yield each undirected edge once as an ``(i, j)`` pair with ``i < j``."""

@@ -8,6 +8,20 @@ subdivision, so the honest prover of
 one.  We do this by computing an edge-minimal non-planar subgraph: removing
 any further edge would make it planar, and a classical argument shows such a
 subgraph is exactly a Kuratowski subdivision.
+
+Computing that minimal subgraph by greedy edge deletion alone costs one
+planarity test per edge per pass — quadratic in practice, and the bottleneck
+of every soundness sweep that needs honest Kuratowski certificates above
+``n ~ 500``.  :func:`find_kuratowski_subdivision` therefore exits early
+through a cheap *structural validation* (:func:`_as_subdivision`): strip
+low-degree vertices and, if the remainder provably is a subdivision already,
+return it after a single planarity test plus linear work.  That is exactly
+the shape of the sweeps' witness instances (``k5_subdivision`` /
+``k33_subdivision`` generators), which makes honest non-planarity proving
+linear there.  General inputs are minimised on the backend's own mutable
+graph view (one conversion total instead of one per planarity test, with
+in-pass peeling and the same early exit), and the portable greedy deletion
+loop remains as the backend-independent fallback.
 """
 
 from __future__ import annotations
@@ -73,13 +87,138 @@ def _classify(subgraph: Graph) -> tuple[str, tuple[Node, ...]]:
         f"edge-minimal non-planar subgraph has unexpected branch structure: {degrees}")
 
 
+def _fast_minimised_core(graph: Graph, backend: str) -> KuratowskiSubdivision | None:
+    """Greedy minimisation run directly on a mutable networkx view.
+
+    Same algorithm as the portable fallback loop, but without one
+    graph-conversion per planarity test (the dominant cost there): the
+    non-planar core shrinks in place, low-degree vertices are peeled as soon
+    as a deletion strands them (which lets one test discard a whole chain),
+    and the structural validation exits as soon as the core provably is a
+    subdivision.  Each validation attempt converts the current core back (an
+    O(n + m) sliver next to the planarity tests it can save).  Returns
+    ``None`` when the backend exposes no networkx view or the minimum never
+    validates (then the portable loop decides).
+    """
+    if backend != "networkx":
+        return None
+    import networkx as nx
+
+    view = graph.to_networkx()  # a fresh copy: safe to mutate
+
+    def peel(seeds) -> bool:
+        removed = False
+        queue = [node for node in seeds if view.degree(node) < 2]
+        while queue:
+            node = queue.pop()
+            if node not in view or view.degree(node) >= 2:
+                continue
+            neighbors = list(view.adj[node])
+            view.remove_node(node)
+            removed = True
+            queue.extend(nb for nb in neighbors if view.degree(nb) < 2)
+        return removed
+
+    peel(list(view.nodes))  # the input itself may carry low-degree vertices
+    changed = True
+    while changed:
+        changed = False
+        for u, v in list(view.edges()):
+            if not view.has_edge(u, v):
+                continue  # dropped by an earlier peel in this pass
+            view.remove_edge(u, v)
+            if nx.check_planarity(view)[0]:
+                view.add_edge(u, v)
+                continue
+            changed = True
+            if peel((u, v)):
+                early = _as_subdivision(Graph.from_networkx(view))
+                if early is not None:
+                    return early
+        early = _as_subdivision(Graph.from_networkx(view))
+        if early is not None:
+            return early
+    return None
+
+
+def _peel_low_degree(core: Graph) -> None:
+    """Iteratively strip vertices of degree < 2 (never part of a subdivision)."""
+    queue = [node for node in core.nodes() if core.degree(node) < 2]
+    while queue:
+        node = queue.pop()
+        if not core.has_node(node) or core.degree(node) >= 2:
+            continue
+        neighbors = list(core.neighbors(node))
+        core.remove_node(node)
+        queue.extend(nb for nb in neighbors if core.degree(nb) < 2)
+
+
+def _as_subdivision(core: Graph) -> KuratowskiSubdivision | None:
+    """Return ``core`` as a validated subdivision, or ``None``.
+
+    Purely structural (no planarity test): the branch degrees must classify,
+    every edge must lie on a branch-to-branch chain, the chains must be
+    simple and pairwise distinct, and the branch pairs they connect must form
+    exactly ``K5`` or a complete 3+3 bipartition.  Together with the degree
+    conditions this characterises the subdivisions, so an early exit here
+    never returns a false positive.
+    """
+    if any(core.degree(node) < 2 for node in core.nodes()):
+        return None  # stray vertices can never belong to a subdivision
+    try:
+        kind, branch = _classify(core)
+    except GraphError:
+        return None
+    subdivision = KuratowskiSubdivision(kind=kind, branch_vertices=branch,
+                                        subgraph=core)
+    try:
+        paths = subdivision.paths()
+    except GraphError:
+        return None
+    if sum(len(path) - 1 for path in paths) != core.number_of_edges():
+        return None  # leftover edges outside the chains (stray components)
+    pairs = {frozenset((path[0], path[-1])) for path in paths}
+    if len(pairs) != len(paths) or any(path[0] == path[-1] for path in paths):
+        return None  # parallel chains or a chain closing on its own endpoint
+    if kind == "K5":
+        expected = {frozenset((u, v)) for u in branch for v in branch if u != v}
+        return subdivision if pairs == expected else None
+    if len(pairs) != 9:
+        return None
+    adjacency: dict[Node, set[Node]] = {vertex: set() for vertex in branch}
+    for pair in pairs:
+        u, v = tuple(pair)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    if any(len(partners) != 3 for partners in adjacency.values()):
+        return None
+    colour: dict[Node, int] = {branch[0]: 0}
+    stack = [branch[0]]
+    while stack:
+        vertex = stack.pop()
+        for partner in adjacency[vertex]:
+            if partner not in colour:
+                colour[partner] = 1 - colour[vertex]
+                stack.append(partner)
+            elif colour[partner] == colour[vertex]:
+                return None
+    if len(colour) != 6 or sum(colour.values()) != 3:
+        return None
+    return subdivision
+
+
 def find_kuratowski_subdivision(graph: Graph, backend: str = "networkx") -> KuratowskiSubdivision:
     """Return a Kuratowski subdivision contained in a non-planar graph.
 
-    The subgraph is obtained by greedily deleting edges whose removal keeps
-    the graph non-planar, then stripping vertices of degree < 2.  The
-    remaining graph is an edge-minimal non-planar graph, i.e. a subdivision
-    of ``K5`` or ``K3,3``.
+    The input itself — stripped of low-degree vertices — is structurally
+    validated first, so graphs that already are subdivisions (the sweeps'
+    honest witness instances) cost one planarity test plus linear work.
+    General inputs are minimised in place on the backend's own graph
+    representation (:func:`_fast_minimised_core`).  Only if neither resolves
+    does the portable fallback run: greedily delete edges whose removal
+    keeps the graph non-planar and strip vertices of degree < 2 until the
+    graph is edge-minimal non-planar, i.e. a subdivision of ``K5`` or
+    ``K3,3`` — with the same early exit attempted after every pass.
 
     Raises
     ------
@@ -89,6 +228,13 @@ def find_kuratowski_subdivision(graph: Graph, backend: str = "networkx") -> Kura
     if is_planar(graph, backend=backend):
         raise GraphError("graph is planar; it contains no Kuratowski subdivision")
     core = graph.copy()
+    _peel_low_degree(core)
+    early = _as_subdivision(core)
+    if early is not None:
+        return early
+    fast = _fast_minimised_core(graph, backend)
+    if fast is not None:
+        return fast
     changed = True
     while changed:
         changed = False
@@ -99,9 +245,12 @@ def find_kuratowski_subdivision(graph: Graph, backend: str = "networkx") -> Kura
             else:
                 changed = True
         # strip vertices that can no longer be part of the subdivision
-        for node in list(core.nodes()):
-            if core.degree(node) < 2:
-                core.remove_node(node)
-                changed = True
+        before = core.number_of_nodes()
+        _peel_low_degree(core)
+        changed = changed or core.number_of_nodes() != before
+        if changed:
+            early = _as_subdivision(core)
+            if early is not None:
+                return early
     kind, branch = _classify(core)
     return KuratowskiSubdivision(kind=kind, branch_vertices=branch, subgraph=core)

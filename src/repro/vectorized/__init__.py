@@ -1,0 +1,69 @@
+"""Vectorized bulk verification on the IndexedGraph CSR arrays.
+
+The paper's verifiers are radius-1 local predicates, which maps directly onto
+array kernels: compile the certificate assignment into struct-of-arrays form
+(one numpy column per certificate field, indexed by
+:class:`~repro.graphs.indexed.IndexedGraph` node id) and decide **all nodes
+at once** with CSR gathers and segment reductions instead of a Python
+per-node loop.
+
+The subsystem has three layers:
+
+* :mod:`repro.vectorized.compiler` — network → :class:`VectorContext`
+  (certificate-independent CSR/id arrays, cached per network by the engine)
+  and assignment → :class:`CertificateTable` (per-field columns, rebuilt per
+  trial), with an exactness contract that routes unrepresentable
+  certificates back to the reference verifier;
+* :mod:`repro.vectorized.kernels` — the :class:`VectorizedKernel` protocol,
+  the shared spanning-tree and Hamiltonian-path sub-checks, and the concrete
+  kernels for ``tree-pls`` and ``path-graph-pls``;
+* registration — kernels are registered alongside their schemes in
+  :func:`repro.distributed.registry.default_registry`; the
+  :class:`~repro.distributed.engine.SimulationEngine` selects them with
+  ``backend="vectorized"`` and falls back to the reference loop for schemes
+  without a kernel (or when numpy is unavailable).
+
+Everything degrades gracefully without numpy: :data:`HAVE_NUMPY` is the gate,
+:func:`builtin_kernels` returns an empty list, and the engine's vectorized
+backend silently serves the reference path.
+"""
+
+from repro.vectorized.compiler import (
+    HAVE_NUMPY,
+    ID_LIMIT,
+    INT_LIMIT,
+    CertificateTable,
+    FieldSpec,
+    VectorContext,
+    build_vector_context,
+    compile_certificates,
+)
+from repro.vectorized.kernels import (
+    HAMILTONIAN_PATH_FIELDS,
+    SPANNING_TREE_FIELDS,
+    PathGraphKernel,
+    TreeKernel,
+    VectorizedKernel,
+    builtin_kernels,
+    hamiltonian_path_accept,
+    spanning_tree_accept,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ID_LIMIT",
+    "INT_LIMIT",
+    "CertificateTable",
+    "FieldSpec",
+    "VectorContext",
+    "build_vector_context",
+    "compile_certificates",
+    "HAMILTONIAN_PATH_FIELDS",
+    "SPANNING_TREE_FIELDS",
+    "PathGraphKernel",
+    "TreeKernel",
+    "VectorizedKernel",
+    "builtin_kernels",
+    "hamiltonian_path_accept",
+    "spanning_tree_accept",
+]

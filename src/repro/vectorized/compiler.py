@@ -1,0 +1,252 @@
+"""Compilation of networks and certificate assignments into array form.
+
+The vectorized backend verifies all nodes of a network at once, which needs
+two ingredients in struct-of-arrays form, both indexed by the node ids of the
+network's compiled :class:`~repro.graphs.indexed.IndexedGraph`:
+
+* a :class:`VectorContext` — the certificate-independent part: the CSR
+  adjacency (``indptr`` / ``dst``), the matching per-directed-edge source
+  index ``src``, and the network identifier of every node.  It is built once
+  per network (the :class:`~repro.distributed.engine.SimulationEngine` caches
+  it alongside its structural views);
+* a :class:`CertificateTable` — the certificate-dependent part: one int64
+  column per declared certificate field plus presence masks, rebuilt per
+  assignment (the per-trial cost of the backend).
+
+**Exactness contract.**  The kernels must reproduce the reference verifier's
+per-node decisions bit for bit, including on adversarial assignments, so the
+compiler never coerces a value it cannot represent exactly: a certificate
+that is not an instance of the kernel's certificate class, or that carries a
+non-integer field, or an integer outside ``(-2**31, 2**31)`` (the bound that
+keeps every segment sum inside int64), is marked *unrepresentable*.  The
+engine re-runs the reference verifier at every node that can see an
+unrepresentable certificate, so such assignments stay correct — they just
+leave the fast path.  ``None`` certificates (absent nodes) are representable:
+the reference verifiers reject on them locally, and the kernels mirror that
+through the ``present`` mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+try:  # numpy is an optional dependency of the core library
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.network import Network
+
+__all__ = [
+    "HAVE_NUMPY",
+    "INT_LIMIT",
+    "ID_LIMIT",
+    "FieldSpec",
+    "VectorContext",
+    "CertificateTable",
+    "build_vector_context",
+    "compile_certificates",
+]
+
+#: certificate integer fields must lie strictly inside ``(-INT_LIMIT, INT_LIMIT)``
+#: so that a per-node sum of up to ``n < 2**31`` of them cannot overflow int64.
+INT_LIMIT = 1 << 31
+
+#: network identifiers only ever sit on one side of an equality comparison, so
+#: they merely need to be exactly representable as int64.
+ID_LIMIT = 1 << 62
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One certificate field a kernel consumes: its name and optionality.
+
+    ``optional`` fields may hold ``None`` (tracked in a separate mask, since
+    the reference checks distinguish ``None`` from any integer value, -1
+    included).
+    """
+
+    name: str
+    optional: bool = False
+
+
+@dataclass
+class VectorContext:
+    """Certificate-independent arrays of one network (read-only once built).
+
+    ``dst[indptr[i]:indptr[i + 1]]`` are the neighbor indices of node ``i``
+    (repr-sorted CSR layout) and ``src`` is the parallel source-index array,
+    so per-directed-edge gathers are ``column[src]`` / ``column[dst]`` and
+    per-node reductions are ``reduceat`` over ``starts = indptr[:-1]``.
+    Connected networks with ``n >= 2`` have no empty adjacency block, which is
+    exactly the precondition ``reduceat`` needs; :func:`build_vector_context`
+    refuses smaller networks.
+
+    Deliberately holds no reference back to the network: the engine caches
+    contexts keyed by network identity and relies on garbage collection of
+    the network to evict them.
+    """
+
+    n: int
+    labels: list
+    node_ids: Any
+    indptr: Any
+    starts: Any
+    src: Any
+    dst: Any
+    degrees: Any
+
+
+def build_vector_context(network: "Network") -> VectorContext | None:
+    """Compile ``network`` into a :class:`VectorContext`.
+
+    Returns ``None`` when the vectorized backend cannot serve this network —
+    numpy missing, fewer than two nodes or any isolated node (``reduceat``
+    needs every adjacency block non-empty; a network is born connected but
+    its graph may be mutated afterwards), or identifiers too large to
+    represent exactly — in which case the engine stays on the reference
+    path.
+    """
+    if not HAVE_NUMPY:
+        return None
+    indexed = network.graph.indexed()
+    n = indexed.n
+    if n < 2 or min(indexed.degrees) == 0:
+        return None
+    ids = [network.id_of(label) for label in indexed.labels]
+    if max(ids) >= ID_LIMIT:
+        return None
+    indptr, indices = indexed.csr_arrays()
+    degrees = np.diff(indptr)
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    return VectorContext(
+        n=n,
+        labels=list(indexed.labels),
+        node_ids=np.array(ids, dtype=np.int64),
+        indptr=indptr,
+        starts=indptr[:-1],
+        src=src,
+        dst=indices,
+        degrees=degrees,
+    )
+
+
+@dataclass
+class CertificateTable:
+    """One certificate assignment in struct-of-arrays form.
+
+    ``present[i]`` — node ``i`` holds a representable certificate of the
+    kernel's class; ``unrepresentable[i]`` — it holds something else than
+    ``None`` that the table cannot express exactly (wrong or subclassed type,
+    non-integer or out-of-range field), so every node that sees it must take
+    the reference path.  ``columns[f]`` holds the int64 field values (0 where
+    not present or ``None``) and ``isnone[f]`` the ``None`` mask of optional
+    fields.
+    """
+
+    present: Any
+    unrepresentable: Any
+    columns: dict[str, Any]
+    isnone: dict[str, Any]
+
+
+_MISSING = object()
+
+#: in-row encoding of an optional field holding ``None``; sits outside the
+#: accepted field range, so it can never collide with a representable value
+NONE_SENTINEL = INT_LIMIT
+
+
+def _extract_row(certificate: Any, certificate_type: type,
+                 fields: tuple[FieldSpec, ...]) -> tuple | None:
+    """Return the exact field tuple of ``certificate``, or ``None`` if it has
+    no exact int64 representation (subclasses included — their overridden
+    attributes must keep reference semantics, which only the reference
+    verifier can guarantee).  ``None`` field values are encoded as
+    :data:`NONE_SENTINEL`."""
+    if type(certificate) is not certificate_type:
+        return None
+    values: list[int] = []
+    for spec in fields:
+        value = getattr(certificate, spec.name)
+        if value is None and spec.optional:
+            values.append(NONE_SENTINEL)
+            continue
+        # exactly int or bool — an int *subclass* may override comparison
+        # semantics the int64 columns cannot reproduce, so it must take the
+        # reference fallback like any other foreign object
+        if type(value) is not int and type(value) is not bool:
+            return None
+        if not -INT_LIMIT < value < INT_LIMIT:
+            return None
+        values.append(int(value))  # normalises bool, which compares like int
+    return tuple(values)
+
+
+def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
+                         certificate_type: type,
+                         fields: tuple[FieldSpec, ...]) -> CertificateTable:
+    """Compile ``certificates`` into a :class:`CertificateTable` over ``ctx``.
+
+    This is the per-trial cost of the vectorized backend, so extraction is
+    memoised per certificate *object*, in the object's ``__dict__`` (the same
+    idiom as the planarity certificates' ``endpoint_ids`` cache: certificates
+    are immutable, the entry does not participate in dataclass equality, and
+    it survives across trials — attack assignments recycle a small pool of
+    honest certificates, so steady-state compilation is one dict hit per node
+    plus a single bulk array conversion).
+    """
+    n = ctx.n
+    width = len(fields)
+    empty_row = (0,) * width
+    # keyed by certificate type and field layout, not id(fields): equal
+    # (type, layout) pairs share rows safely, a recycled tuple address can
+    # never alias a stale entry, and a kernel expecting a different class
+    # with a coincidentally equal layout never inherits another kernel's
+    # type-check verdict
+    row_key = (f"_vectorized_row_{certificate_type.__qualname__}_"
+               + ",".join(spec.name + ("?" if spec.optional else "")
+                          for spec in fields))
+    present = bytearray(n)
+    unrepresentable = bytearray(n)
+    flat: list[int] = []
+    extend = flat.extend
+    get = certificates.get
+    for i, label in enumerate(ctx.labels):
+        certificate = get(label)
+        if certificate is None:
+            extend(empty_row)
+            continue
+        try:
+            row = certificate.__dict__.get(row_key, _MISSING)
+        except AttributeError:  # no __dict__ (e.g. slotted foreign object)
+            row = _extract_row(certificate, certificate_type, fields)
+        else:
+            if row is _MISSING:
+                row = _extract_row(certificate, certificate_type, fields)
+                certificate.__dict__[row_key] = row
+        if row is None:
+            unrepresentable[i] = True
+            extend(empty_row)
+            continue
+        present[i] = True
+        extend(row)
+    matrix = np.array(flat, dtype=np.int64).reshape(n, width)
+    columns: dict[str, Any] = {}
+    isnone: dict[str, Any] = {}
+    for j, spec in enumerate(fields):
+        column = matrix[:, j]
+        if spec.optional:
+            mask = column == NONE_SENTINEL
+            column[mask] = 0
+            isnone[spec.name] = mask
+        columns[spec.name] = column
+    return CertificateTable(
+        present=np.frombuffer(present, dtype=np.uint8).astype(bool),
+        unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool),
+        columns=columns, isnone=isnone)

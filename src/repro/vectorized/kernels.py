@@ -1,0 +1,272 @@
+"""Array kernels for the radius-1 building-block verifiers.
+
+Each kernel re-expresses one scheme's per-node verifier as whole-array
+operations over a :class:`~repro.vectorized.compiler.VectorContext`: field
+gathers along the CSR directed-edge arrays (``column[src]`` / ``column[dst]``)
+followed by per-node segment reductions (``reduceat`` over the CSR block
+starts).  The per-node decision logic is a literal transcription of the
+reference checks in :mod:`repro.core.building_blocks` — every conjunct there
+appears as one boolean array here — so the accept vector is bit-identical to
+running the Python verifier at every node (asserted by the differential fuzz
+harness in ``tests/test_vectorized.py``).
+
+Two shared sub-checks are exposed as standalone functions because they are
+the certification ingredients the paper's planarity scheme builds on:
+
+* :func:`spanning_tree_accept` — the (root, parent, distance) consistency
+  plus the subtree-counter check of ``check_spanning_tree_label``;
+* :func:`hamiltonian_path_accept` — the rank/parent consistency of
+  ``check_hamiltonian_path_label``.
+
+:class:`TreeKernel` and :class:`PathGraphKernel` layer the schemes' extra
+every-edge conditions on top.  The planarity scheme itself has no full kernel
+(its Algorithm 2 reconstruction is certificate-*set* shaped, not fixed-field
+shaped) and falls back to the reference verifier; its spanning-tree phase is
+exactly :func:`spanning_tree_accept`.
+
+A kernel returns ``(accept, fallback)``: ``fallback[i]`` marks nodes whose
+radius-1 view contains an unrepresentable certificate (see the compiler's
+exactness contract); the engine overwrites their entries with the reference
+verifier's decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.building_blocks import (
+    HamiltonianPathLabel,
+    PathGraphScheme,
+    SpanningTreeLabel,
+    TreeScheme,
+)
+from repro.vectorized.compiler import (
+    HAVE_NUMPY,
+    CertificateTable,
+    FieldSpec,
+    VectorContext,
+    compile_certificates,
+)
+
+if HAVE_NUMPY:
+    import numpy as np
+
+__all__ = [
+    "VectorizedKernel",
+    "SPANNING_TREE_FIELDS",
+    "HAMILTONIAN_PATH_FIELDS",
+    "spanning_tree_accept",
+    "hamiltonian_path_accept",
+    "TreeKernel",
+    "PathGraphKernel",
+    "builtin_kernels",
+]
+
+#: field layout of :class:`SpanningTreeLabel` consumed by the tree kernels
+SPANNING_TREE_FIELDS = (
+    FieldSpec("total"),
+    FieldSpec("root_id"),
+    FieldSpec("parent_id", optional=True),
+    FieldSpec("distance"),
+    FieldSpec("subtree_size"),
+)
+
+#: field layout of :class:`HamiltonianPathLabel` consumed by the path kernel
+HAMILTONIAN_PATH_FIELDS = (
+    FieldSpec("total"),
+    FieldSpec("rank"),
+    FieldSpec("root_id"),
+    FieldSpec("parent_id", optional=True),
+)
+
+
+@runtime_checkable
+class VectorizedKernel(Protocol):
+    """Bulk verifier of one scheme over a compiled network.
+
+    Implementations are stateless; schemes opt in by registering a kernel
+    under their name (see
+    :meth:`repro.distributed.registry.SchemeRegistry.register_kernel`).
+    """
+
+    #: registry name of the scheme this kernel accelerates
+    scheme_name: str
+
+    def supports(self, scheme: Any) -> bool:
+        """Return whether this kernel reproduces ``scheme`` exactly.
+
+        Must reject subclasses and any parametrisation that changes the
+        verifier's decision function.
+        """
+        ...
+
+    def accept_vector(self, ctx: VectorContext, scheme: Any,
+                      certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        """Return ``(accept, fallback)`` boolean arrays over ``ctx``'s nodes."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# segment reductions over the CSR layout
+# ----------------------------------------------------------------------
+# ``starts = indptr[:-1]`` and every adjacency block is non-empty (the
+# compiler refuses n < 2), which is the precondition np.add.reduceat needs:
+# an empty segment would alias its successor's first element.
+
+def _segment_sum(values: Any, starts: Any) -> Any:
+    """Per-node sum of a per-directed-edge int64 array."""
+    return np.add.reduceat(values, starts)
+
+
+def _segment_count(flags: Any, starts: Any) -> Any:
+    """Per-node count of set flags over a per-directed-edge bool array."""
+    return np.add.reduceat(flags.astype(np.int64), starts)
+
+
+def _segment_all(flags: Any, starts: Any) -> Any:
+    """Per-node conjunction over a per-directed-edge bool array."""
+    return _segment_count(~flags, starts) == 0
+
+
+def _segment_any(flags: Any, starts: Any) -> Any:
+    """Per-node disjunction over a per-directed-edge bool array."""
+    return _segment_count(flags, starts) > 0
+
+
+def _view_fallback(ctx: VectorContext, table: CertificateTable) -> Any:
+    """Nodes whose radius-1 view contains an unrepresentable certificate."""
+    bad = table.unrepresentable
+    return bad | _segment_any(bad[ctx.dst], ctx.starts)
+
+
+# ----------------------------------------------------------------------
+# shared sub-checks (the paper's certification building blocks)
+# ----------------------------------------------------------------------
+def spanning_tree_accept(ctx: VectorContext, table: CertificateTable) -> Any:
+    """Vectorized ``check_spanning_tree_label`` at every node at once.
+
+    ``table`` must be compiled with :data:`SPANNING_TREE_FIELDS`.  Mirrors the
+    reference conjuncts: own label present; every neighbor label present with
+    matching ``total`` / ``root_id``; the root (``own_id == root_id``) has no
+    parent, distance 0 and ``subtree_size == total``; every other node has a
+    neighboring parent one distance unit closer; and the subtree counter
+    equals one plus the children's counters.
+    """
+    src, dst, starts = ctx.src, ctx.dst, ctx.starts
+    ids = ctx.node_ids
+    present = table.present
+    total = table.columns["total"]
+    root = table.columns["root_id"]
+    parent = table.columns["parent_id"]
+    parent_none = table.isnone["parent_id"]
+    distance = table.columns["distance"]
+    size = table.columns["subtree_size"]
+
+    neighbor_ok = present[dst] & (total[dst] == total[src]) & (root[dst] == root[src])
+    accept = present & _segment_all(neighbor_ok, starts)
+
+    is_root = ids == root
+    root_ok = parent_none & (distance == 0) & (size == total)
+    # the claimed parent must be a neighbor (ids are distinct, so at most one
+    # edge matches) whose distance is exactly one less; ``parent_none`` rows
+    # hold column value 0, which a genuine id 0 must not match, hence the mask
+    parent_edge = ~parent_none[src] & (ids[dst] == parent[src])
+    parent_ok = _segment_any(
+        parent_edge & present[dst] & (distance[dst] == distance[src] - 1), starts)
+    accept &= np.where(is_root, root_ok, ~parent_none & parent_ok)
+
+    child_edge = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
+    child_sum = _segment_sum(np.where(child_edge, size[dst], 0), starts)
+    accept &= size == 1 + child_sum
+    return accept
+
+
+def hamiltonian_path_accept(ctx: VectorContext, table: CertificateTable) -> Any:
+    """Vectorized ``check_hamiltonian_path_label`` at every node at once.
+
+    ``table`` must be compiled with :data:`HAMILTONIAN_PATH_FIELDS`.  The
+    exactly-one-child condition uses the count/sum pair: when the child count
+    is 1 the rank sum over child edges *is* the child's rank.
+    """
+    src, dst, starts = ctx.src, ctx.dst, ctx.starts
+    ids = ctx.node_ids
+    present = table.present
+    total = table.columns["total"]
+    rank = table.columns["rank"]
+    root = table.columns["root_id"]
+    parent = table.columns["parent_id"]
+    parent_none = table.isnone["parent_id"]
+
+    neighbor_ok = present[dst] & (total[dst] == total[src]) & (root[dst] == root[src])
+    accept = present & (1 <= rank) & (rank <= total) & _segment_all(neighbor_ok, starts)
+
+    first = rank == 1
+    first_ok = (ids == root) & parent_none
+    parent_edge = ~parent_none[src] & (ids[dst] == parent[src])
+    parent_ok = _segment_any(
+        parent_edge & present[dst] & (rank[dst] == rank[src] - 1), starts)
+    accept &= np.where(first, first_ok, ~parent_none & parent_ok)
+
+    child_edge = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
+    child_count = _segment_count(child_edge, starts)
+    child_rank_sum = _segment_sum(np.where(child_edge, rank[dst], 0), starts)
+    has_next = rank < total
+    next_ok = (child_count == 1) & (child_rank_sum == rank + 1)
+    accept &= np.where(has_next, next_ok, child_count == 0)
+    return accept
+
+
+# ----------------------------------------------------------------------
+# scheme kernels
+# ----------------------------------------------------------------------
+class TreeKernel:
+    """Bulk verifier of :class:`~repro.core.building_blocks.TreeScheme`."""
+
+    scheme_name = TreeScheme.name
+
+    def supports(self, scheme: Any) -> bool:
+        return type(scheme) is TreeScheme and scheme.verification_radius == 1
+
+    def accept_vector(self, ctx: VectorContext, scheme: Any,
+                      certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        table = compile_certificates(ctx, certificates, SpanningTreeLabel,
+                                     SPANNING_TREE_FIELDS)
+        accept = spanning_tree_accept(ctx, table)
+        # every incident edge must be a tree edge: the neighbor is my parent
+        # or claims me as its parent
+        src, dst = ctx.src, ctx.dst
+        ids = ctx.node_ids
+        parent = table.columns["parent_id"]
+        parent_none = table.isnone["parent_id"]
+        tree_edge = (~parent_none[src] & (ids[dst] == parent[src])) \
+            | (table.present[dst] & ~parent_none[dst] & (parent[dst] == ids[src]))
+        accept &= _segment_all(tree_edge, ctx.starts)
+        return accept, _view_fallback(ctx, table)
+
+
+class PathGraphKernel:
+    """Bulk verifier of :class:`~repro.core.building_blocks.PathGraphScheme`."""
+
+    scheme_name = PathGraphScheme.name
+
+    def supports(self, scheme: Any) -> bool:
+        return type(scheme) is PathGraphScheme and scheme.verification_radius == 1
+
+    def accept_vector(self, ctx: VectorContext, scheme: Any,
+                      certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        table = compile_certificates(ctx, certificates, HamiltonianPathLabel,
+                                     HAMILTONIAN_PATH_FIELDS)
+        accept = hamiltonian_path_accept(ctx, table)
+        accept &= ctx.degrees <= 2
+        # every incident edge must be a path edge: consecutive ranks only
+        rank = table.columns["rank"]
+        consecutive = np.abs(rank[ctx.dst] - rank[ctx.src]) == 1
+        accept &= _segment_all(consecutive, ctx.starts)
+        return accept, _view_fallback(ctx, table)
+
+
+def builtin_kernels() -> list:
+    """Return the kernels shipped with the library (empty without numpy)."""
+    if not HAVE_NUMPY:
+        return []
+    return [PathGraphKernel(), TreeKernel()]

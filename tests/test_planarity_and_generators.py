@@ -127,6 +127,33 @@ class TestKuratowski:
         with pytest.raises(GraphError):
             find_kuratowski_subdivision(grid_graph(4, 4))
 
+    def test_low_degree_vertices_never_survive_extraction(self):
+        """Stray low-degree vertices (here: an isolated node and a pendant
+        path next to a K6) must be stripped from the returned subdivision."""
+        graph = complete_graph(6)
+        graph.add_node("isolated")
+        graph.add_edge(0, "pendant")
+        subdivision = find_kuratowski_subdivision(graph)
+        assert all(subdivision.subgraph.degree(node) >= 2
+                   for node in subdivision.subgraph.nodes())
+        assert not subdivision.subgraph.has_node("isolated")
+        assert not subdivision.subgraph.has_node("pendant")
+
+    @pytest.mark.parametrize("generator,kind", [
+        (k5_subdivision, "K5"),
+        (k33_subdivision, "K3,3"),
+    ])
+    def test_large_witness_extraction_is_linear(self, generator, kind):
+        """n >= 1000 witness graphs must resolve through the structural early
+        exit (the previous greedy-only extraction was quadratic and would
+        effectively hang here)."""
+        graph = generator(220, seed=3)
+        assert graph.number_of_nodes() >= 1000
+        subdivision = find_kuratowski_subdivision(graph)
+        assert subdivision.kind == kind
+        # the witness is already edge-minimal: nothing may be discarded
+        assert subdivision.subgraph == graph
+
 
 class TestMinors:
     def test_verify_clique_minor_model(self):

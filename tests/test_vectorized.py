@@ -1,0 +1,329 @@
+"""The vectorized backend: kernel registry, engine integration, and the
+differential fuzz harness asserting per-node decision identity with the
+reference verifier."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.building_blocks import PathGraphScheme, TreeScheme
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.network import Network
+from repro.distributed.registry import SchemeRegistry, default_registry
+from repro.distributed.verifier import run_verification
+from repro.exceptions import RegistryError
+from repro.graphs.generators import (
+    cycle_graph,
+    delaunay_planar_graph,
+    path_graph,
+    planar_plus_random_edges,
+    random_tree,
+    star_graph,
+)
+from repro.vectorized import (
+    INT_LIMIT,
+    PathGraphKernel,
+    TreeKernel,
+    build_vector_context,
+)
+
+
+def yes_instance(name: str):
+    """A fixed yes-instance of every scheme that ships a kernel."""
+    return {
+        "path-graph-pls": path_graph(16),
+        "tree-pls": random_tree(24, seed=3),
+    }[name]
+
+
+def assert_backends_agree(scheme, network, certificates):
+    """The core acceptance property: identical per-node decisions."""
+    engine = SimulationEngine(backend="vectorized")
+    reference = run_verification(scheme, network, certificates)
+    vectorized = engine.verify(scheme, network, certificates)
+    assert vectorized.decisions == reference.decisions
+    assert vectorized.certificate_bits == reference.certificate_bits
+    assert engine.count_accepting(scheme, network, certificates) == \
+        sum(reference.decisions.values())
+
+
+class TestKernelRegistry:
+    def test_builtin_kernels_registered(self):
+        registry = default_registry()
+        assert registry.kernel_names() == ["path-graph-pls", "tree-pls"]
+
+    def test_kernel_for_resolves_exact_schemes_only(self):
+        registry = default_registry()
+        assert isinstance(registry.kernel_for(TreeScheme()), TreeKernel)
+        assert isinstance(registry.kernel_for(PathGraphScheme()), PathGraphKernel)
+        assert registry.kernel_for(registry.create("planarity-pls")) is None
+
+        class SubclassedTree(TreeScheme):
+            """Could override verify; must never be served by the kernel."""
+
+        assert registry.kernel_for(SubclassedTree()) is None
+
+    def test_kernel_registration_guards(self):
+        registry = SchemeRegistry()
+        with pytest.raises(RegistryError):
+            registry.register_kernel("tree-pls", TreeKernel())  # scheme unknown
+        registry.register(TreeScheme.name, TreeScheme)
+        registry.register_kernel("tree-pls", TreeKernel())
+        with pytest.raises(RegistryError):
+            registry.register_kernel("tree-pls", TreeKernel())
+        registry.register_kernel("tree-pls", TreeKernel(), replace=True)
+        registry.unregister_kernel("tree-pls")
+        assert registry.kernel("tree-pls") is None
+        with pytest.raises(RegistryError):
+            registry.unregister_kernel("tree-pls")
+
+    def test_unregistering_a_scheme_drops_its_kernel(self):
+        registry = SchemeRegistry()
+        registry.register(TreeScheme.name, TreeScheme)
+        registry.register_kernel("tree-pls", TreeKernel())
+        registry.unregister("tree-pls")
+        assert registry.kernel("tree-pls") is None
+
+
+class TestEngineBackendSelection:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(backend="gpu")
+        engine = SimulationEngine()
+        scheme = TreeScheme()
+        network = Network(random_tree(8, seed=1), seed=1)
+        with pytest.raises(ValueError):
+            engine.verify(scheme, network, {}, backend="gpu")
+
+    def test_per_call_override_beats_engine_default(self):
+        scheme = TreeScheme()
+        network = Network(random_tree(12, seed=2), seed=2)
+        certificates = scheme.prove(network)
+        reference = SimulationEngine(backend="reference")
+        decisions = reference.verify(scheme, network, certificates,
+                                     backend="vectorized").decisions
+        assert decisions == run_verification(scheme, network, certificates).decisions
+
+    def test_scheme_without_kernel_falls_back(self):
+        scheme = default_registry().create("planarity-pls")
+        graph = delaunay_planar_graph(20, seed=4)
+        network = Network(graph, seed=4)
+        certificates = scheme.prove(network)
+        assert_backends_agree(scheme, network, certificates)
+
+    def test_single_node_network_falls_back(self):
+        scheme = PathGraphScheme()
+        network = Network(path_graph(1), seed=0)
+        assert build_vector_context(network) is None
+        assert_backends_agree(scheme, network, scheme.prove(network))
+
+    def test_isolated_node_after_mutation_falls_back(self):
+        """A graph mutated into disconnection gains a degree-0 node whose
+        empty CSR block would alias its neighbor's under reduceat; the
+        compiler must refuse such networks outright."""
+        scheme = TreeScheme()
+        graph = random_tree(9, seed=8)
+        network = Network(graph, seed=8)
+        certificates = scheme.prove(network)
+        leaf = next(n for n in graph.nodes() if graph.degree(n) == 1)
+        graph.remove_edge(leaf, next(iter(graph.neighbors(leaf))))
+        assert build_vector_context(network) is None
+        assert_backends_agree(scheme, network, certificates)
+
+    def test_oversized_identifiers_fall_back(self):
+        graph = path_graph(3)
+        ids = {node: (1 << 70) + index for index, node in enumerate(graph.nodes())}
+        network = Network(graph, ids=ids)
+        assert build_vector_context(network) is None
+        scheme = PathGraphScheme()
+        assert_backends_agree(scheme, network, scheme.prove(network))
+
+    def test_vector_context_invalidated_by_graph_mutation(self):
+        engine = SimulationEngine(backend="vectorized")
+        graph = random_tree(10, seed=5)
+        network = Network(graph, seed=5)
+        scheme = TreeScheme()
+        certificates = scheme.prove(network)
+        assert engine.verify(scheme, network, certificates).accepted
+        first = engine._vector_context(network)
+        leaf = next(n for n in graph.nodes() if graph.degree(n) == 1)
+        inner = next(n for n in graph.nodes()
+                     if graph.degree(n) > 1 and not graph.has_edge(n, leaf))
+        graph.add_edge(leaf, inner)
+        assert engine._vector_context(network) is not first
+        assert engine.verify(scheme, network, certificates).decisions == \
+            run_verification(scheme, network, certificates).decisions
+
+    def test_vector_contexts_do_not_pin_networks(self):
+        """The context cache must follow the engine's weakref eviction: a
+        context holding its network would leak every throwaway network."""
+        import gc
+
+        engine = SimulationEngine(backend="vectorized")
+        scheme = TreeScheme()
+        for seed in range(12):
+            graph = random_tree(8, seed=seed)
+            network = Network(graph, seed=seed)
+            engine.verify(scheme, network, scheme.prove(network))
+        del graph, network
+        gc.collect()
+        assert not engine._vector_contexts
+
+    def test_attacks_run_transparently_through_backend(self):
+        from repro.distributed.adversary import random_certificate_attack
+
+        scheme = PathGraphScheme()
+        network = Network(cycle_graph(14), seed=6)
+        donor = PathGraphScheme().prove(Network(path_graph(14), seed=6))
+        pool = list(donor.values())
+
+        def factory(rng, net, node):
+            return pool[rng.randrange(len(pool))]
+
+        plain = random_certificate_attack(scheme, network, factory,
+                                          trials=6, seed=3)
+        batched = random_certificate_attack(
+            scheme, network, factory, trials=6, seed=3,
+            engine=SimulationEngine(backend="vectorized"))
+        assert plain == batched
+
+
+class TestUnrepresentableCertificates:
+    """Assignments outside the int64 struct-of-arrays contract must be routed
+    through the per-node reference fallback with unchanged decisions."""
+
+    def cases(self, name):
+        return [
+            ("huge-int", lambda c: dataclasses.replace(c, total=1 << 70)),
+            ("negative-overflow", lambda c: dataclasses.replace(c, total=-(1 << 70))),
+            ("at-limit", lambda c: dataclasses.replace(c, total=INT_LIMIT)),
+            ("non-int", lambda c: dataclasses.replace(c, root_id="zero")),
+            ("none-cert", lambda c: None),
+        ]
+
+    @pytest.mark.parametrize("name", ["path-graph-pls", "tree-pls"])
+    def test_decisions_identical_per_corruption(self, name):
+        scheme = default_registry().create(name)
+        network = Network(yes_instance(name), seed=1)
+        honest = scheme.prove(network)
+        victims = sorted(honest, key=repr)[:3]
+        for case, mutate in self.cases(name):
+            certificates = dict(honest)
+            for victim in victims:
+                certificates[victim] = mutate(honest[victim])
+            assert_backends_agree(scheme, network, certificates)
+
+    def test_int_subclass_fields_take_the_fallback(self):
+        """An int subclass may override comparison semantics the int64
+        columns cannot reproduce — it must be routed to the reference
+        verifier, not coerced."""
+
+        class NeverEqual(int):
+            def __eq__(self, other):
+                return False
+
+            def __ne__(self, other):
+                return True
+
+            __hash__ = int.__hash__
+
+        scheme = default_registry().create("tree-pls")
+        network = Network(yes_instance("tree-pls"), seed=1)
+        honest = scheme.prove(network)
+        certificates = dict(honest)
+        victim = sorted(certificates, key=repr)[0]
+        certificates[victim] = dataclasses.replace(
+            honest[victim], total=NeverEqual(honest[victim].total))
+        assert_backends_agree(scheme, network, certificates)
+
+    def test_bool_fields_compare_like_ints(self):
+        scheme = default_registry().create("tree-pls")
+        network = Network(yes_instance("tree-pls"), seed=1)
+        honest = scheme.prove(network)
+        certificates = dict(honest)
+        victim = sorted(certificates, key=repr)[0]
+        certificates[victim] = dataclasses.replace(honest[victim], distance=True)
+        assert_backends_agree(scheme, network, certificates)
+
+
+# ----------------------------------------------------------------------
+# differential fuzz harness
+# ----------------------------------------------------------------------
+def _fuzz_graphs():
+    """Planar, non-planar, path, and tree shapes (the kernels must agree on
+    *every* network, members of the certified class or not)."""
+    return [
+        ("path", path_graph(18)),
+        ("cycle", cycle_graph(17)),
+        ("star", star_graph(9)),
+        ("tree", random_tree(26, seed=11)),
+        ("planar", delaunay_planar_graph(30, seed=12)),
+        ("nonplanar", planar_plus_random_edges(22, extra_edges=3, seed=13)),
+    ]
+
+
+def _int_fields(certificate):
+    return [f.name for f in dataclasses.fields(certificate)]
+
+
+def _corrupt(certificates, nodes, rng):
+    """Apply one random corruption; returns a fresh assignment."""
+    mutated = dict(certificates)
+    operation = rng.randrange(5)
+    node = rng.choice(nodes)
+    if operation == 0:  # swap two nodes' certificates
+        other = rng.choice(nodes)
+        mutated[node], mutated[other] = mutated[other], mutated[node]
+    elif operation == 1:  # drop a certificate
+        mutated[node] = None
+    elif operation == 2:  # duplicate another node's certificate
+        mutated[node] = mutated[rng.choice(nodes)]
+    elif operation == 3 and mutated[node] is not None:  # tweak one field
+        field = rng.choice(_int_fields(mutated[node]))
+        values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
+        if field == "parent_id":
+            # None stays confined to the optional field: the reference checks
+            # would raise (not decide) on e.g. a None total, and the backends
+            # only promise identical *decisions*
+            values.append(None)
+        mutated[node] = dataclasses.replace(mutated[node],
+                                            **{field: rng.choice(values)})
+    elif operation == 4 and mutated[node] is not None:  # offset one field
+        field = rng.choice(_int_fields(mutated[node]))
+        current = getattr(mutated[node], field)
+        if isinstance(current, int):
+            mutated[node] = dataclasses.replace(
+                mutated[node], **{field: current + rng.choice([-1, 1])})
+    return mutated
+
+
+@pytest.mark.parametrize("scheme_name",
+                         sorted(default_registry().kernel_names()))
+@pytest.mark.parametrize("graph_name,graph", _fuzz_graphs(),
+                         ids=[name for name, _ in _fuzz_graphs()])
+def test_fuzz_accept_vector_identical(scheme_name, graph_name, graph):
+    """Random graphs x random certificate corruptions: the vectorized accept
+    vector equals the reference verifier's for every registered kernel."""
+    registry = default_registry()
+    scheme = registry.create(scheme_name)
+    network = Network(graph, seed=21)
+    rng = random.Random(f"{scheme_name}/{graph_name}")
+    try:
+        certificates = scheme.prove(network)
+    except Exception:
+        # not a member (or no witness): transplant honest certificates from
+        # the scheme's yes-instance, mimicking an adversarial replay
+        donor = scheme.prove(Network(yes_instance(scheme_name), seed=21))
+        pool = list(donor.values())
+        certificates = {node: pool[index % len(pool)]
+                        for index, node in enumerate(network.nodes())}
+    nodes = list(network.nodes())
+    assert_backends_agree(scheme, network, certificates)
+    for _ in range(12):
+        certificates = _corrupt(certificates, nodes, rng)
+        assert_backends_agree(scheme, network, certificates)
