@@ -1,21 +1,26 @@
 """Bulk-verification benchmark: the PR-1 engine path vs the vectorized kernels.
 
-Runs a fixed-seed bulk sweep over the building-block schemes
-(``path-graph-pls`` on path graphs, ``tree-pls`` on random trees): for every
-instance, one honest full verification plus a batch of decision-only
-evaluations of randomly corrupted assignments — the shape of a soundness
-attack's inner loop.  The sweep runs twice through the *same*
-:class:`~repro.distributed.engine.SimulationEngine` machinery:
+Runs fixed-seed bulk sweeps over every scheme that ships a kernel, in three
+sections:
 
-* **engine-reference** — the PR-1 path: cached structural views, one Python
-  verifier call per node;
-* **engine-vectorized** — ``backend="vectorized"``: the
-  :mod:`repro.vectorized` kernels decide all nodes at once over the CSR
-  arrays.
+* **building-blocks** — ``path-graph-pls`` on path graphs and ``tree-pls`` on
+  random trees (the PR-2 sweep);
+* **non-planarity** — ``non-planarity-pls`` on Kuratowski witness graphs
+  (honest verification plus corrupted batches) and forged-certificate
+  attacks on planar no-instances — the full kernel added in PR 3;
+* **planarity** — ``planarity-pls`` on Delaunay triangulations (honest plus
+  corrupted batches) and donor-pool shuffle attacks on non-planar siblings.
+  This kernel is a *prefilter* (spanning-tree + path-consistency phases
+  vectorized, survivors fall back to the reference verifier), so expect
+  parity rather than a win on accept-heavy batches; the section is tracked
+  to keep that trade-off measured.
 
-Per-node decisions and accept counts must match exactly (the script asserts
-this); the wall-clock of both passes and their ratio go to
-``BENCH_vectorized.json``.
+Every section runs the same instances, assignments, and RNG streams through
+the *same* :class:`~repro.distributed.engine.SimulationEngine` machinery
+twice — ``backend="reference"`` (cached structural views, one Python verifier
+call per node) and ``backend="vectorized"`` — asserts per-node decisions and
+accept counts match exactly, and records per-section wall-clock and speedups
+in ``BENCH_vectorized.json``.
 
 Run from the repository root::
 
@@ -35,13 +40,21 @@ from typing import Any
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
 from repro.distributed.registry import default_registry
-from repro.graphs.generators import path_graph, random_tree
+from repro.graphs.generators import (
+    delaunay_planar_graph,
+    k5_subdivision,
+    path_graph,
+    planar_plus_random_edges,
+    random_tree,
+)
 
 SEED = 2020  # PODC 2020
 
 FULL_SIZES = [300, 1000, 3000]
+FULL_PLANARITY_SIZES = [300, 1000, 2000]
 FULL_TRIALS = 40
 QUICK_SIZES = [120, 300]
+QUICK_PLANARITY_SIZES = [120, 300]
 QUICK_TRIALS = 8
 
 
@@ -56,7 +69,20 @@ def corrupted_assignment(honest: dict, nodes: list, rng: random.Random) -> dict:
     return certificates
 
 
-def build_sweep(sizes: list[int], trials: int) -> list[dict[str, Any]]:
+def pool_assignment(pool: list, nodes: list, rng: random.Random) -> dict:
+    """A forged assignment drawn from a pool of honest donor certificates —
+    the inner-loop shape of :func:`random_certificate_attack`."""
+    return {node: pool[rng.randrange(len(pool))] for node in nodes}
+
+
+def _leg(section: str, scheme_name: str, scheme, network, honest, batch) -> dict:
+    return {"section": section, "scheme": scheme, "scheme_name": scheme_name,
+            "n": network.size, "network": network, "honest": honest,
+            "batch": batch}
+
+
+def build_sweep(sizes: list[int], planarity_sizes: list[int],
+                trials: int) -> list[dict[str, Any]]:
     """Instances, honest assignments, and corrupted batches (untimed setup)."""
     registry = default_registry()
     legs = []
@@ -70,25 +96,72 @@ def build_sweep(sizes: list[int], trials: int) -> list[dict[str, Any]]:
             rng = random.Random(SEED * 31 + n)
             batch = [corrupted_assignment(honest, nodes, rng)
                      for _ in range(trials)]
-            legs.append({"scheme": scheme, "scheme_name": scheme_name, "n": n,
-                         "network": network, "honest": honest, "batch": batch})
+            legs.append(_leg("building-blocks", scheme_name, scheme, network,
+                             honest, batch))
+
+    nps = registry.create("non-planarity-pls")
+    for n in sizes:
+        # a K5 subdivision with ~n nodes (5 branch vertices, 10 subdivided
+        # edges): the witness shape whose honest extraction is linear
+        witness = k5_subdivision(max(1, (n - 5) // 10), seed=SEED + n)
+        network = Network(witness, seed=SEED + n)
+        honest = nps.prove(network)
+        nodes = list(honest)
+        rng = random.Random(SEED * 37 + n)
+        batch = [corrupted_assignment(honest, nodes, rng) for _ in range(trials)]
+        # forged certificates on a planar no-instance (soundness inner loop)
+        planar = delaunay_planar_graph(n, seed=SEED + n)
+        planar_net = Network(planar, seed=SEED + n)
+        pool = list(honest.values())
+        forged = [pool_assignment(pool, planar_net.nodes(), rng)
+                  for _ in range(max(2, trials // 4))]
+        legs.append(_leg("non-planarity", "non-planarity-pls", nps, network,
+                         honest, batch))
+        legs.append(_leg("non-planarity", "non-planarity-pls", nps, planar_net,
+                         None, forged))
+
+    pls = registry.create("planarity-pls")
+    for n in planarity_sizes:
+        planar = delaunay_planar_graph(n, seed=SEED + n)
+        network = Network(planar, seed=SEED + n)
+        honest = pls.prove(network)
+        nodes = list(honest)
+        rng = random.Random(SEED * 41 + n)
+        batch = [corrupted_assignment(honest, nodes, rng)
+                 for _ in range(max(2, trials // 4))]
+        nonplanar = planar_plus_random_edges(n, extra_edges=3, seed=SEED + n)
+        nonplanar_net = Network(nonplanar, seed=SEED + n)
+        pool = list(honest.values())
+        shuffled = [pool_assignment(pool, nonplanar_net.nodes(), rng)
+                    for _ in range(max(2, trials // 4))]
+        legs.append(_leg("planarity", "planarity-pls", pls, network, honest,
+                         batch))
+        legs.append(_leg("planarity", "planarity-pls", pls, nonplanar_net,
+                         None, shuffled))
     return legs
 
 
-def run_sweep(legs: list[dict[str, Any]], backend: str) -> tuple[list[Any], float]:
-    """Run the sweep through one backend; returns ``(outcomes, seconds)``."""
+def run_sweep(legs: list[dict[str, Any]],
+              backend: str) -> tuple[list[Any], dict[str, float]]:
+    """Run the sweep through one backend; returns ``(outcomes, seconds)``
+    with wall-clock broken down per section."""
     engine = SimulationEngine(seed=SEED, backend=backend)
     outcomes: list[Any] = []
-    start = time.perf_counter()
+    seconds: dict[str, float] = {}
     for leg in legs:
         scheme, network = leg["scheme"], leg["network"]
-        result = engine.verify(scheme, network, leg["honest"])
-        decisions = [[network.id_of(node), accepted]
-                     for node, accepted in result.decisions.items()]
+        start = time.perf_counter()
+        decisions = None
+        if leg["honest"] is not None:
+            result = engine.verify(scheme, network, leg["honest"])
+            decisions = [[network.id_of(node), accepted]
+                         for node, accepted in result.decisions.items()]
         counts = [engine.count_accepting(scheme, network, certificates)
                   for certificates in leg["batch"]]
+        seconds[leg["section"]] = seconds.get(leg["section"], 0.0) \
+            + time.perf_counter() - start
         outcomes.append([leg["scheme_name"], leg["n"], decisions, counts])
-    return outcomes, time.perf_counter() - start
+    return outcomes, seconds
 
 
 def main() -> None:
@@ -100,38 +173,56 @@ def main() -> None:
     args = parser.parse_args()
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    planarity_sizes = QUICK_PLANARITY_SIZES if args.quick else FULL_PLANARITY_SIZES
     trials = QUICK_TRIALS if args.quick else FULL_TRIALS
 
-    print(f"building sweep instances (sizes={sizes}, trials={trials}) ...")
-    legs = build_sweep(sizes, trials)
+    print(f"building sweep instances (sizes={sizes}, "
+          f"planarity_sizes={planarity_sizes}, trials={trials}) ...")
+    legs = build_sweep(sizes, planarity_sizes, trials)
 
     print("running engine, reference backend ...")
     reference_outcomes, reference_seconds = run_sweep(legs, "reference")
-    print(f"  {reference_seconds:.2f}s")
+    print(f"  {sum(reference_seconds.values()):.2f}s")
     print("running engine, vectorized backend ...")
     vectorized_outcomes, vectorized_seconds = run_sweep(legs, "vectorized")
-    print(f"  {vectorized_seconds:.2f}s")
+    print(f"  {sum(vectorized_seconds.values()):.2f}s")
 
     identical = reference_outcomes == vectorized_outcomes
-    speedup = reference_seconds / vectorized_seconds if vectorized_seconds else float("inf")
-    print(f"outcomes identical: {identical}; speedup: {speedup:.2f}x")
+    sections = {}
+    for section in reference_seconds:
+        ref, vec = reference_seconds[section], vectorized_seconds[section]
+        sections[section] = {
+            "reference_seconds": round(ref, 3),
+            "vectorized_seconds": round(vec, 3),
+            "speedup": round(ref / vec, 2) if vec else float("inf"),
+        }
+        print(f"  {section:16s} reference {ref:6.2f}s  vectorized {vec:6.2f}s  "
+              f"speedup {sections[section]['speedup']:.2f}x")
+    total_ref = sum(reference_seconds.values())
+    total_vec = sum(vectorized_seconds.values())
+    speedup = total_ref / total_vec if total_vec else float("inf")
+    print(f"outcomes identical: {identical}; overall speedup: {speedup:.2f}x")
     if not identical:
         raise SystemExit("vectorized outcomes diverge from the reference backend")
 
-    summary = [[o[0], o[1], sum(d for _, d in o[2]), len(o[2]),
+    summary = [[o[0], o[1],
+                None if o[2] is None else sum(d for _, d in o[2]),
+                None if o[2] is None else len(o[2]),
                 min(o[3]), max(o[3])] for o in reference_outcomes]
     payload = {
-        "benchmark": "building-block bulk sweep, engine reference backend vs vectorized kernels",
+        "benchmark": "bulk-verification sweeps, engine reference backend vs vectorized kernels",
         "schemes": sorted({o[0] for o in reference_outcomes}),
         "seed": SEED,
         "quick": args.quick,
-        "sweep": {"sizes": sizes, "corrupted_assignments_per_instance": trials},
-        "reference_seconds": round(reference_seconds, 3),
-        "vectorized_seconds": round(vectorized_seconds, 3),
+        "sweep": {"sizes": sizes, "planarity_sizes": planarity_sizes,
+                  "corrupted_assignments_per_instance": trials},
+        "reference_seconds": round(total_ref, 3),
+        "vectorized_seconds": round(total_vec, 3),
         "speedup": round(speedup, 2),
+        "sections": sections,
         "outcomes_identical": identical,
-        # scheme, n, accepting nodes (honest), n nodes, min/max accept count
-        # over the corrupted batch
+        # scheme, n, accepting nodes (honest; None for attack-only legs),
+        # n nodes, min/max accept count over the adversarial batch
         "outcome_summary": summary,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -14,8 +14,11 @@ certificates of a planar sub-network leaves at least one node rejecting.
 
 ``--backend vectorized`` routes every verification in this script through
 the :mod:`repro.vectorized` array kernels: the building-block section runs
-on its registered kernel, while schemes without one (planarity) fall back to
-the reference verifier transparently — same decisions either way.
+on its full kernel, the planarity sections on the prefilter kernel (the
+vectorized spanning-tree and path-consistency phases reject in array form,
+surviving nodes are re-decided by the reference verifier), and schemes
+without a kernel fall back wholesale — same decisions either way.  See
+``docs/ARCHITECTURE.md`` for the backend-support matrix.
 """
 
 from __future__ import annotations

@@ -1,0 +1,53 @@
+"""Check the documentation for dead relative links.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and fails when a
+*relative* link target (external ``scheme://`` URLs and pure ``#anchor``
+links are skipped) does not resolve to an existing file or directory,
+relative to the file containing the link.  Run from anywhere::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — target captured up to the closing parenthesis; markdown
+# images ![alt](target) match the same way via the trailing "[...](...)"
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*://", target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{number}: dead link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    errors = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: expected documentation file is missing")
+            continue
+        errors.extend(check_file(path))
+        print(f"checked {path.relative_to(root)}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,10 +37,22 @@ from repro.graphs.kuratowski import find_kuratowski_subdivision
 from repro.graphs.planarity import is_planar
 from repro.graphs.spanning_tree import bfs_spanning_tree
 
-__all__ = ["SubdivisionRole", "NonPlanarityCertificate", "NonPlanarityScheme"]
+__all__ = [
+    "KIND_K5",
+    "KIND_K33",
+    "MAX_BRANCH_VERTICES",
+    "SubdivisionRole",
+    "NonPlanarityCertificate",
+    "NonPlanarityScheme",
+]
 
 KIND_K5 = 0
 KIND_K33 = 1
+
+#: every valid kind has at most this many branch vertices (5 for ``K5``, 6
+#: for ``K3,3``); the vectorized kernel flattens ``branch_ids`` into this
+#: many fixed-width columns, so longer tuples take the reference fallback
+MAX_BRANCH_VERTICES = 6
 
 #: required partner branch indices for each branch vertex, per kind
 _PARTNERS = {

@@ -49,6 +49,8 @@ from repro.graphs.planarity import is_planar
 from repro.graphs.spanning_tree import RootedTree
 
 __all__ = [
+    "MAX_EDGE_CERTIFICATES_PER_NODE",
+    "MAX_INTERVAL_ENTRIES_PER_CERTIFICATE",
     "TreeEdgeCertificate",
     "CotreeEdgeCertificate",
     "PlanarityCertificate",
@@ -63,6 +65,13 @@ IntervalEntries = tuple[tuple[int, int, int], ...]   # (index, low, high)
 #: planar graphs are 5-degenerate, so the honest prover never charges more
 #: than five edge certificates to a single node; the verifier enforces it.
 MAX_EDGE_CERTIFICATES_PER_NODE = 5
+
+#: an honest edge certificate mentions at most four ``G_{T,f}`` indices
+#: (tree edges: descend/return plus successors; cotree edges: two copies),
+#: so its interval list has at most four entries; the vectorized prefilter
+#: kernel routes certificates with longer lists to the reference fallback,
+#: with headroom so only truly foreign shapes leave the fast path
+MAX_INTERVAL_ENTRIES_PER_CERTIFICATE = 8
 
 
 def _encode_interval_entries(writer: BitWriter, entries: IntervalEntries) -> None:

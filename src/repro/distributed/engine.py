@@ -160,25 +160,31 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # caches
     # ------------------------------------------------------------------
-    def _track(self, obj: object, *caches: dict[int, Any]) -> int:
-        """Key ``obj`` by id and evict its cache entries when it is collected."""
-        key = id(obj)
-        if key not in self._finalizers:
-            def _evict(_ref: weakref.ref, key: int = key) -> None:
-                for cache in caches:
-                    cache.pop(key, None)
-                self._finalizers.pop(key, None)
-            self._finalizers[key] = weakref.ref(obj, _evict)
-        return key
+    def _drop_network(self, key: int, *, keep_tracking: bool = False) -> None:
+        """Evict every per-network cache entry keyed by ``id(network)``.
+
+        This is the single place that knows which caches hang off a network
+        — weakref finalizers, graph-version invalidation, LRU eviction, and
+        :meth:`clear_caches` all funnel through it, so a newly added
+        per-network cache only needs to be dropped here.  ``keep_tracking``
+        preserves the weakref finalizer and version stamp for a network that
+        stays live (version invalidation: the caches are stale, the network
+        is not).
+        """
+        self._structures.pop(key, None)
+        self._prover_cache.pop(key, None)
+        self._stats_cache.pop(key, None)
+        self._vector_contexts.pop(key, None)
+        if not keep_tracking:
+            self._versions.pop(key, None)
+            self._finalizers.pop(key, None)
 
     def clear_caches(self) -> None:
         """Drop every cached structure, prover artifact, and network."""
-        self._structures.clear()
-        self._prover_cache.clear()
-        self._stats_cache.clear()
-        self._vector_contexts.clear()
-        self._versions.clear()
+        for key in list(self._versions):
+            self._drop_network(key)
         self._networks.clear()
+        # remaining finalizers (schemes, untracked stragglers) go wholesale
         self._finalizers.clear()
 
     def _network_key(self, network: Network) -> int:
@@ -189,15 +195,14 @@ class SimulationEngine:
         graph (detected through the same counter that guards
         :meth:`Graph.indexed`) makes every one of them stale at once.
         """
-        key = self._track(network, self._structures, self._prover_cache,
-                          self._stats_cache, self._vector_contexts,
-                          self._versions)
+        key = id(network)
+        if key not in self._finalizers:
+            def _evict(_ref: weakref.ref, key: int = key) -> None:
+                self._drop_network(key)
+            self._finalizers[key] = weakref.ref(network, _evict)
         version = network.graph._version
         if self._versions.get(key, version) != version:
-            self._structures.pop(key, None)
-            self._prover_cache.pop(key, None)
-            self._stats_cache.pop(key, None)
-            self._vector_contexts.pop(key, None)
+            self._drop_network(key, keep_tracking=True)
         self._versions[key] = version
         return key
 
@@ -232,13 +237,7 @@ class SimulationEngine:
         self._networks[key] = (graph._version, network)
         if len(self._networks) > self.network_cache_size:
             _, (_, evicted) = self._networks.popitem(last=False)
-            evicted_key = id(evicted)
-            self._structures.pop(evicted_key, None)
-            self._prover_cache.pop(evicted_key, None)
-            self._stats_cache.pop(evicted_key, None)
-            self._vector_contexts.pop(evicted_key, None)
-            self._versions.pop(evicted_key, None)
-            self._finalizers.pop(evicted_key, None)
+            self._drop_network(id(evicted))
         return network
 
     def structures(self, network: Network, radius: int = 1) -> list[NodeStructure]:

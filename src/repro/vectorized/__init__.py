@@ -7,16 +7,24 @@ array kernels: compile the certificate assignment into struct-of-arrays form
 at once** with CSR gathers and segment reductions instead of a Python
 per-node loop.
 
-The subsystem has three layers:
+The subsystem has three layers (documented end to end in
+``docs/ARCHITECTURE.md``; the kernel-authoring contract in
+``docs/KERNELS.md``):
 
 * :mod:`repro.vectorized.compiler` — network → :class:`VectorContext`
   (certificate-independent CSR/id arrays, cached per network by the engine)
   and assignment → :class:`CertificateTable` (per-field columns, rebuilt per
-  trial), with an exactness contract that routes unrepresentable
-  certificates back to the reference verifier;
+  trial) or :class:`EdgeListTable` (variable-width per-node lists flattened
+  into offsets+values arrays), with an exactness contract that routes
+  unrepresentable certificates back to the reference verifier;
 * :mod:`repro.vectorized.kernels` — the :class:`VectorizedKernel` protocol,
-  the shared spanning-tree and Hamiltonian-path sub-checks, and the concrete
-  kernels for ``tree-pls`` and ``path-graph-pls``;
+  the segment-reduction toolkit, the shared spanning-tree and
+  Hamiltonian-path sub-checks, and the concrete kernels for ``tree-pls``
+  and ``path-graph-pls``;
+* :mod:`repro.vectorized.paper_kernels` — the headline schemes: a full
+  kernel for ``non-planarity-pls`` and a prefilter kernel for
+  ``planarity-pls`` (vectorized spanning-tree + path-consistency phases,
+  wholesale fallback for the rest);
 * registration — kernels are registered alongside their schemes in
   :func:`repro.distributed.registry.default_registry`; the
   :class:`~repro.distributed.engine.SimulationEngine` selects them with
@@ -32,11 +40,14 @@ from repro.vectorized.compiler import (
     HAVE_NUMPY,
     ID_LIMIT,
     INT_LIMIT,
+    UNREPRESENTABLE,
     CertificateTable,
+    EdgeListTable,
     FieldSpec,
     VectorContext,
     build_vector_context,
     compile_certificates,
+    compile_edge_lists,
 )
 from repro.vectorized.kernels import (
     HAMILTONIAN_PATH_FIELDS,
@@ -46,18 +57,35 @@ from repro.vectorized.kernels import (
     VectorizedKernel,
     builtin_kernels,
     hamiltonian_path_accept,
+    scatter_any,
+    segment_all,
+    segment_any,
+    segment_count,
+    segment_sum,
     spanning_tree_accept,
+    view_fallback,
+)
+from repro.vectorized.paper_kernels import (
+    EDGE_CERTIFICATE_FIELDS,
+    NESTED_SPANNING_TREE_FIELDS,
+    NONPLANARITY_FIELDS,
+    PLANARITY_FIELDS,
+    NonPlanarityKernel,
+    PlanarityKernel,
 )
 
 __all__ = [
     "HAVE_NUMPY",
     "ID_LIMIT",
     "INT_LIMIT",
+    "UNREPRESENTABLE",
     "CertificateTable",
+    "EdgeListTable",
     "FieldSpec",
     "VectorContext",
     "build_vector_context",
     "compile_certificates",
+    "compile_edge_lists",
     "HAMILTONIAN_PATH_FIELDS",
     "SPANNING_TREE_FIELDS",
     "PathGraphKernel",
@@ -65,5 +93,17 @@ __all__ = [
     "VectorizedKernel",
     "builtin_kernels",
     "hamiltonian_path_accept",
+    "scatter_any",
+    "segment_all",
+    "segment_any",
+    "segment_count",
+    "segment_sum",
     "spanning_tree_accept",
+    "view_fallback",
+    "EDGE_CERTIFICATE_FIELDS",
+    "NESTED_SPANNING_TREE_FIELDS",
+    "NONPLANARITY_FIELDS",
+    "PLANARITY_FIELDS",
+    "NonPlanarityKernel",
+    "PlanarityKernel",
 ]

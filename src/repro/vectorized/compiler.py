@@ -28,6 +28,7 @@ through the ``present`` mask.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -46,11 +47,14 @@ __all__ = [
     "HAVE_NUMPY",
     "INT_LIMIT",
     "ID_LIMIT",
+    "UNREPRESENTABLE",
     "FieldSpec",
     "VectorContext",
     "CertificateTable",
+    "EdgeListTable",
     "build_vector_context",
     "compile_certificates",
+    "compile_edge_lists",
 ]
 
 #: certificate integer fields must lie strictly inside ``(-INT_LIMIT, INT_LIMIT)``
@@ -62,6 +66,11 @@ INT_LIMIT = 1 << 31
 ID_LIMIT = 1 << 62
 
 
+#: sentinel a :attr:`FieldSpec.getter` returns to mark the whole certificate
+#: unrepresentable (e.g. a nested object of the wrong type); never a value
+UNREPRESENTABLE = object()
+
+
 @dataclass(frozen=True)
 class FieldSpec:
     """One certificate field a kernel consumes: its name and optionality.
@@ -69,10 +78,26 @@ class FieldSpec:
     ``optional`` fields may hold ``None`` (tracked in a separate mask, since
     the reference checks distinguish ``None`` from any integer value, -1
     included).
+
+    ``limit`` bounds the accepted magnitude (values must lie strictly inside
+    ``(-limit, limit)``).  The default :data:`INT_LIMIT` keeps segment *sums*
+    of the column inside int64; fields that only ever sit in equality
+    comparisons or ``± 1`` arithmetic (identifiers, positions) may relax it to
+    :data:`ID_LIMIT`, matching the bound on network identifiers.
+
+    ``getter`` overrides plain attribute access for *derived* fields: nested
+    dataclass attributes (``certificate.spanning_tree.total``), fixed-width
+    slots of a variable-length tuple, or computed flags.  A getter returns the
+    field value, ``None`` (optional fields), or :data:`UNREPRESENTABLE` to
+    route every node that can see this certificate through the reference
+    fallback.  Getters must be total — raising is a kernel bug, not a
+    fallback signal.
     """
 
     name: str
     optional: bool = False
+    limit: int = INT_LIMIT
+    getter: Callable[[Any], Any] | None = None
 
 
 @dataclass
@@ -100,6 +125,33 @@ class VectorContext:
     src: Any
     dst: Any
     degrees: Any
+    _id_index: Any = None
+    _edge_index: Any = None
+
+    def id_index(self) -> tuple:
+        """Return ``(order, sorted_ids)`` for identifier→node-index lookups.
+
+        Certificate-independent, so it is computed once per context (the
+        engine caches contexts per network) rather than per trial.
+        """
+        cached = self._id_index
+        if cached is None:
+            order = np.argsort(self.node_ids, kind="stable")
+            cached = (order, self.node_ids[order])
+            self._id_index = cached
+        return cached
+
+    def edge_index(self) -> tuple:
+        """Return ``(order, sorted_keys)`` over the ``src * n + dst`` keys,
+        for locating a directed edge's CSR position by endpoint pair (also
+        certificate-independent, cached on the context)."""
+        cached = self._edge_index
+        if cached is None:
+            keys = self.src * self.n + self.dst
+            order = np.argsort(keys, kind="stable")
+            cached = (order, keys[order])
+            self._edge_index = cached
+        return cached
 
 
 def build_vector_context(network: "Network") -> VectorContext | None:
@@ -158,8 +210,9 @@ class CertificateTable:
 _MISSING = object()
 
 #: in-row encoding of an optional field holding ``None``; sits outside the
-#: accepted field range, so it can never collide with a representable value
-NONE_SENTINEL = INT_LIMIT
+#: accepted range of every field limit (values are strictly below
+#: :data:`ID_LIMIT`), so it can never collide with a representable value
+NONE_SENTINEL = ID_LIMIT
 
 
 def _extract_row(certificate: Any, certificate_type: type,
@@ -171,9 +224,19 @@ def _extract_row(certificate: Any, certificate_type: type,
     :data:`NONE_SENTINEL`."""
     if type(certificate) is not certificate_type:
         return None
+    return _field_row(certificate, fields)
+
+
+def _field_row(obj: Any, fields: tuple[FieldSpec, ...]) -> tuple | None:
+    """Extract the exact int64 field tuple of an already-type-checked object."""
     values: list[int] = []
     for spec in fields:
-        value = getattr(certificate, spec.name)
+        if spec.getter is None:
+            value = getattr(obj, spec.name)
+        else:
+            value = spec.getter(obj)
+            if value is UNREPRESENTABLE:
+                return None
         if value is None and spec.optional:
             values.append(NONE_SENTINEL)
             continue
@@ -182,7 +245,7 @@ def _extract_row(certificate: Any, certificate_type: type,
         # reference fallback like any other foreign object
         if type(value) is not int and type(value) is not bool:
             return None
-        if not -INT_LIMIT < value < INT_LIMIT:
+        if not -spec.limit < value < spec.limit:
             return None
         values.append(int(value))  # normalises bool, which compares like int
     return tuple(values)
@@ -208,9 +271,12 @@ def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
     # (type, layout) pairs share rows safely, a recycled tuple address can
     # never alias a stale entry, and a kernel expecting a different class
     # with a coincidentally equal layout never inherits another kernel's
-    # type-check verdict
+    # type-check verdict.  Getters cannot be part of the key, so a layout's
+    # (name, optional, limit) triples must determine its getters — use fresh
+    # field names when a derived field changes meaning.
     row_key = (f"_vectorized_row_{certificate_type.__qualname__}_"
                + ",".join(spec.name + ("?" if spec.optional else "")
+                          + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
                           for spec in fields))
     present = bytearray(n)
     unrepresentable = bytearray(n)
@@ -250,3 +316,113 @@ def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
         present=np.frombuffer(present, dtype=np.uint8).astype(bool),
         unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool),
         columns=columns, isnone=isnone)
+
+
+@dataclass
+class EdgeListTable:
+    """A variable-width per-node list field in flattened offsets+values form.
+
+    This is the struct-of-arrays layout for certificates that carry a
+    *sequence* of sub-records (the planarity scheme's per-edge certificates):
+    node ``i``'s entries occupy the block ``offsets[i]:offsets[i + 1]`` of
+    every entry column — the same offsets+values idiom as the CSR adjacency
+    exposed by :meth:`IndexedGraph.csr_arrays()
+    <repro.graphs.indexed.IndexedGraph.csr_arrays>`, so per-entry→per-node
+    reductions run over ``offsets`` exactly like per-edge→per-node reductions
+    run over ``indptr`` (empty blocks are legal here, so reductions must use
+    the masked-scatter helpers, not bare ``reduceat``).
+
+    ``unrepresentable[i]`` marks holders whose list the layout cannot express
+    exactly (not the declared sequence type, or an entry of a foreign/
+    subclassed type or with out-of-range fields); their blocks are empty and
+    every node that can see them must take the reference path.  Holders whose
+    *certificate* is absent or foreign get an empty block too, but are not
+    flagged here — the node-level :class:`CertificateTable` already accounts
+    for them.
+    """
+
+    offsets: Any
+    counts: Any
+    columns: dict[str, Any]
+    isnone: dict[str, Any]
+    unrepresentable: Any
+
+
+def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
+                       certificate_type: type, list_name: str,
+                       entry_types: tuple[type, ...],
+                       fields: tuple[FieldSpec, ...]) -> EdgeListTable:
+    """Compile the ``list_name`` sequence attribute into an :class:`EdgeListTable`.
+
+    Every entry must be exactly one of ``entry_types`` (subclasses fall back,
+    like everywhere else in the exactness contract) and yield an exact row
+    under ``fields`` (whose getters receive the *entry*); otherwise the whole
+    holder is marked unrepresentable.  Extraction is memoised per certificate
+    object in its ``__dict__``, like :func:`compile_certificates`.
+    """
+    n = ctx.n
+    # the key carries the entry types as well: the same list compiled under
+    # a narrower entry-type tuple must not inherit these rows
+    rows_key = (f"_vectorized_list_{certificate_type.__qualname__}_{list_name}_"
+                + "|".join(t.__qualname__ for t in entry_types) + "_"
+                + ",".join(spec.name + ("?" if spec.optional else "")
+                           + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
+                           for spec in fields))
+    unrepresentable = bytearray(n)
+    counts = [0] * n
+    flat: list[int] = []
+    extend = flat.extend
+    get = certificates.get
+    for i, label in enumerate(ctx.labels):
+        certificate = get(label)
+        if type(certificate) is not certificate_type:
+            continue  # absent/foreign holder: the node table owns the verdict
+        try:
+            rows = certificate.__dict__.get(rows_key, _MISSING)
+        except AttributeError:  # pragma: no cover - frozen dataclasses have __dict__
+            rows = _extract_list_rows(certificate, list_name, entry_types, fields)
+        else:
+            if rows is _MISSING:
+                rows = _extract_list_rows(certificate, list_name, entry_types, fields)
+                certificate.__dict__[rows_key] = rows
+        if rows is None:
+            unrepresentable[i] = True
+            continue
+        counts[i] = len(rows)
+        for row in rows:
+            extend(row)
+    width = len(fields)
+    matrix = np.array(flat, dtype=np.int64).reshape(len(flat) // width if width else 0, width)
+    counts_arr = np.array(counts, dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts_arr, out=offsets[1:])
+    columns: dict[str, Any] = {}
+    isnone: dict[str, Any] = {}
+    for j, spec in enumerate(fields):
+        column = matrix[:, j]
+        if spec.optional:
+            mask = column == NONE_SENTINEL
+            column[mask] = 0
+            isnone[spec.name] = mask
+        columns[spec.name] = column
+    return EdgeListTable(
+        offsets=offsets, counts=counts_arr, columns=columns, isnone=isnone,
+        unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool))
+
+
+def _extract_list_rows(certificate: Any, list_name: str,
+                       entry_types: tuple[type, ...],
+                       fields: tuple[FieldSpec, ...]) -> tuple | None:
+    """Return the entry rows of ``certificate.<list_name>``, or ``None``."""
+    entries = getattr(certificate, list_name)
+    if type(entries) is not tuple:
+        return None
+    rows = []
+    for entry in entries:
+        if type(entry) not in entry_types:
+            return None
+        row = _field_row(entry, fields)
+        if row is None:
+            return None
+        rows.append(row)
+    return tuple(rows)

@@ -19,10 +19,12 @@ the certification ingredients the paper's planarity scheme builds on:
   ``check_hamiltonian_path_label``.
 
 :class:`TreeKernel` and :class:`PathGraphKernel` layer the schemes' extra
-every-edge conditions on top.  The planarity scheme itself has no full kernel
-(its Algorithm 2 reconstruction is certificate-*set* shaped, not fixed-field
-shaped) and falls back to the reference verifier; its spanning-tree phase is
-exactly :func:`spanning_tree_accept`.
+every-edge conditions on top.  The paper's headline schemes build on the
+same sub-checks through nested-field compilation — see
+:mod:`repro.vectorized.paper_kernels` for the non-planarity kernel (full)
+and the planarity prefilter kernel (Algorithm 2's later reconstruction
+phases are certificate-*set* shaped, so surviving nodes fall back to the
+reference verifier).
 
 A kernel returns ``(accept, fallback)``: ``fallback[i]`` marks nodes whose
 radius-1 view contains an unrepresentable certificate (see the compiler's
@@ -55,6 +57,12 @@ __all__ = [
     "VectorizedKernel",
     "SPANNING_TREE_FIELDS",
     "HAMILTONIAN_PATH_FIELDS",
+    "segment_sum",
+    "segment_count",
+    "segment_all",
+    "segment_any",
+    "scatter_any",
+    "view_fallback",
     "spanning_tree_accept",
     "hamiltonian_path_accept",
     "TreeKernel",
@@ -107,36 +115,50 @@ class VectorizedKernel(Protocol):
 
 
 # ----------------------------------------------------------------------
-# segment reductions over the CSR layout
+# segment reductions over the CSR layout (the kernel-authoring toolkit —
+# see docs/KERNELS.md)
 # ----------------------------------------------------------------------
 # ``starts = indptr[:-1]`` and every adjacency block is non-empty (the
 # compiler refuses n < 2), which is the precondition np.add.reduceat needs:
-# an empty segment would alias its successor's first element.
+# an empty segment would alias its successor's first element.  Reductions
+# over layouts that *can* have empty blocks (the variable-width
+# ``EdgeListTable``) must use :func:`scatter_any` instead.
 
-def _segment_sum(values: Any, starts: Any) -> Any:
+def segment_sum(values: Any, starts: Any) -> Any:
     """Per-node sum of a per-directed-edge int64 array."""
     return np.add.reduceat(values, starts)
 
 
-def _segment_count(flags: Any, starts: Any) -> Any:
+def segment_count(flags: Any, starts: Any) -> Any:
     """Per-node count of set flags over a per-directed-edge bool array."""
     return np.add.reduceat(flags.astype(np.int64), starts)
 
 
-def _segment_all(flags: Any, starts: Any) -> Any:
+def segment_all(flags: Any, starts: Any) -> Any:
     """Per-node conjunction over a per-directed-edge bool array."""
-    return _segment_count(~flags, starts) == 0
+    return segment_count(~flags, starts) == 0
 
 
-def _segment_any(flags: Any, starts: Any) -> Any:
+def segment_any(flags: Any, starts: Any) -> Any:
     """Per-node disjunction over a per-directed-edge bool array."""
-    return _segment_count(flags, starts) > 0
+    return segment_count(flags, starts) > 0
 
 
-def _view_fallback(ctx: VectorContext, table: CertificateTable) -> Any:
+def scatter_any(flags: Any, index: Any, n: int) -> Any:
+    """Per-target disjunction of ``flags`` scattered by ``index``.
+
+    Unlike the ``reduceat``-based segment reductions this needs no contiguous
+    block layout, so empty targets are legal (they come out ``False``) —
+    which is exactly the shape of per-entry→per-node reductions over an
+    :class:`~repro.vectorized.compiler.EdgeListTable`.
+    """
+    return np.bincount(index[flags], minlength=n).astype(bool)
+
+
+def view_fallback(ctx: VectorContext, table: CertificateTable) -> Any:
     """Nodes whose radius-1 view contains an unrepresentable certificate."""
     bad = table.unrepresentable
-    return bad | _segment_any(bad[ctx.dst], ctx.starts)
+    return bad | segment_any(bad[ctx.dst], ctx.starts)
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +185,7 @@ def spanning_tree_accept(ctx: VectorContext, table: CertificateTable) -> Any:
     size = table.columns["subtree_size"]
 
     neighbor_ok = present[dst] & (total[dst] == total[src]) & (root[dst] == root[src])
-    accept = present & _segment_all(neighbor_ok, starts)
+    accept = present & segment_all(neighbor_ok, starts)
 
     is_root = ids == root
     root_ok = parent_none & (distance == 0) & (size == total)
@@ -171,12 +193,12 @@ def spanning_tree_accept(ctx: VectorContext, table: CertificateTable) -> Any:
     # edge matches) whose distance is exactly one less; ``parent_none`` rows
     # hold column value 0, which a genuine id 0 must not match, hence the mask
     parent_edge = ~parent_none[src] & (ids[dst] == parent[src])
-    parent_ok = _segment_any(
+    parent_ok = segment_any(
         parent_edge & present[dst] & (distance[dst] == distance[src] - 1), starts)
     accept &= np.where(is_root, root_ok, ~parent_none & parent_ok)
 
     child_edge = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
-    child_sum = _segment_sum(np.where(child_edge, size[dst], 0), starts)
+    child_sum = segment_sum(np.where(child_edge, size[dst], 0), starts)
     accept &= size == 1 + child_sum
     return accept
 
@@ -198,18 +220,18 @@ def hamiltonian_path_accept(ctx: VectorContext, table: CertificateTable) -> Any:
     parent_none = table.isnone["parent_id"]
 
     neighbor_ok = present[dst] & (total[dst] == total[src]) & (root[dst] == root[src])
-    accept = present & (1 <= rank) & (rank <= total) & _segment_all(neighbor_ok, starts)
+    accept = present & (1 <= rank) & (rank <= total) & segment_all(neighbor_ok, starts)
 
     first = rank == 1
     first_ok = (ids == root) & parent_none
     parent_edge = ~parent_none[src] & (ids[dst] == parent[src])
-    parent_ok = _segment_any(
+    parent_ok = segment_any(
         parent_edge & present[dst] & (rank[dst] == rank[src] - 1), starts)
     accept &= np.where(first, first_ok, ~parent_none & parent_ok)
 
     child_edge = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
-    child_count = _segment_count(child_edge, starts)
-    child_rank_sum = _segment_sum(np.where(child_edge, rank[dst], 0), starts)
+    child_count = segment_count(child_edge, starts)
+    child_rank_sum = segment_sum(np.where(child_edge, rank[dst], 0), starts)
     has_next = rank < total
     next_ok = (child_count == 1) & (child_rank_sum == rank + 1)
     accept &= np.where(has_next, next_ok, child_count == 0)
@@ -240,8 +262,8 @@ class TreeKernel:
         parent_none = table.isnone["parent_id"]
         tree_edge = (~parent_none[src] & (ids[dst] == parent[src])) \
             | (table.present[dst] & ~parent_none[dst] & (parent[dst] == ids[src]))
-        accept &= _segment_all(tree_edge, ctx.starts)
-        return accept, _view_fallback(ctx, table)
+        accept &= segment_all(tree_edge, ctx.starts)
+        return accept, view_fallback(ctx, table)
 
 
 class PathGraphKernel:
@@ -261,12 +283,15 @@ class PathGraphKernel:
         # every incident edge must be a path edge: consecutive ranks only
         rank = table.columns["rank"]
         consecutive = np.abs(rank[ctx.dst] - rank[ctx.src]) == 1
-        accept &= _segment_all(consecutive, ctx.starts)
-        return accept, _view_fallback(ctx, table)
+        accept &= segment_all(consecutive, ctx.starts)
+        return accept, view_fallback(ctx, table)
 
 
 def builtin_kernels() -> list:
     """Return the kernels shipped with the library (empty without numpy)."""
     if not HAVE_NUMPY:
         return []
-    return [PathGraphKernel(), TreeKernel()]
+    # imported lazily: the paper kernels build on this module's sub-checks
+    from repro.vectorized.paper_kernels import NonPlanarityKernel, PlanarityKernel
+
+    return [PathGraphKernel(), TreeKernel(), NonPlanarityKernel(), PlanarityKernel()]

@@ -1,0 +1,561 @@
+"""Array kernels for the paper's headline schemes.
+
+PR 2 shipped kernels for the two radius-1 *building-block* schemes.  This
+module extends the vectorized backend to the schemes the paper is actually
+about:
+
+* :class:`NonPlanarityKernel` — a **full** kernel for the folklore Kuratowski
+  scheme (``non-planarity-pls``).  The certificate's nested and
+  variable-width pieces (the ``spanning_tree`` label, the 5/6-slot
+  ``branch_ids`` tuple, the optional ``role``) are flattened into bounded-
+  width int64 columns through :class:`~repro.vectorized.compiler.FieldSpec`
+  getters; the spanning-tree phase reuses the shared
+  :func:`~repro.vectorized.kernels.spanning_tree_accept` sub-check as a
+  prefilter, and the Kuratowski-membership checks (branch-vertex partner
+  coverage, subdivided-path chaining) run as CSR gathers + segment
+  reductions.  Every reference conjunct appears as one boolean array, so
+  decisions are bit-identical wherever the certificates are representable;
+  nodes that can see an unrepresentable certificate take the per-node
+  reference fallback.
+
+* :class:`PlanarityKernel` — a **prefilter** kernel for the Theorem 1 scheme
+  (``planarity-pls``).  Algorithm 2's spanning-tree phase (Phase 2a) and its
+  path-consistency phase (every incident edge covered by an edge certificate
+  whose kind and orientation match the spanning-tree labels — tree edges
+  certified as tree-path images, cotree edges as chords) are vectorized over
+  a flattened offsets+values :class:`~repro.vectorized.compiler.EdgeListTable`
+  of the per-edge certificates.  Both phases are *necessary* conditions of
+  the reference verifier, and they run strictly before any step of
+  ``reconstruct_local_structure`` that could raise, so a node failing them
+  is **rejected for good**; the remaining phases (interval-map consistency,
+  DFS-mapping of the Euler tour, the Algorithm 1 simulation) are
+  certificate-set shaped, so every surviving node *falls back wholesale* to
+  the reference verifier.  Decisions therefore stay byte-identical: the
+  kernel only ever converts "reference would reject" into a cheap array
+  reject.
+
+The decision logic below is a literal transcription of
+:meth:`repro.core.nonplanarity_scheme.NonPlanarityScheme.verify` and of
+Phases 1–2a of :func:`repro.core.planarity_scheme.reconstruct_local_structure`;
+guards replace short-circuits (a conjunct the reference never reaches is
+AND-ed together with the guard that made it unreachable), which is sound
+because the reference verifiers never raise on representable certificates.
+``tests/test_vectorized.py`` fuzzes the equivalence on random planar and
+non-planar graphs under random corruptions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.nonplanarity_scheme import (
+    KIND_K33,
+    KIND_K5,
+    MAX_BRANCH_VERTICES,
+    NonPlanarityCertificate,
+    NonPlanarityScheme,
+    SubdivisionRole,
+)
+from repro.core.planarity_scheme import (
+    MAX_EDGE_CERTIFICATES_PER_NODE,
+    MAX_INTERVAL_ENTRIES_PER_CERTIFICATE,
+    CotreeEdgeCertificate,
+    PlanarityCertificate,
+    PlanarityScheme,
+    TreeEdgeCertificate,
+)
+from repro.core.building_blocks import SpanningTreeLabel
+from repro.vectorized.compiler import (
+    HAVE_NUMPY,
+    ID_LIMIT,
+    UNREPRESENTABLE,
+    FieldSpec,
+    VectorContext,
+    compile_certificates,
+    compile_edge_lists,
+)
+from repro.vectorized.kernels import (
+    scatter_any,
+    segment_all,
+    segment_any,
+    spanning_tree_accept,
+    view_fallback,
+)
+
+if HAVE_NUMPY:
+    import numpy as np
+
+__all__ = [
+    "NESTED_SPANNING_TREE_FIELDS",
+    "NONPLANARITY_FIELDS",
+    "PLANARITY_FIELDS",
+    "EDGE_CERTIFICATE_FIELDS",
+    "NonPlanarityKernel",
+    "PlanarityKernel",
+]
+
+
+# ----------------------------------------------------------------------
+# derived-field getters
+# ----------------------------------------------------------------------
+def _st_field(name: str):
+    """Getter for a field of the nested ``spanning_tree`` label.
+
+    Anything that is not *exactly* a :class:`SpanningTreeLabel` (``None``
+    included: the reference decides ``False`` on it, but through a code path
+    the columns cannot mirror) is unrepresentable.
+    """
+    def get(certificate: Any) -> Any:
+        label = certificate.spanning_tree
+        if type(label) is not SpanningTreeLabel:
+            return UNREPRESENTABLE
+        return getattr(label, name)
+    return get
+
+
+def _branch_count(certificate: Any) -> Any:
+    ids = certificate.branch_ids
+    if type(ids) is not tuple or len(ids) > MAX_BRANCH_VERTICES:
+        return UNREPRESENTABLE
+    return len(ids)
+
+
+def _branch_slot(slot: int):
+    """Getter for one fixed-width slot of the ``branch_ids`` tuple.
+
+    The tuple is at most :data:`MAX_BRANCH_VERTICES` long for every valid
+    kind, so it flattens into that many optional columns plus a count column;
+    longer (or non-tuple) values are unrepresentable.
+    """
+    def get(certificate: Any) -> Any:
+        ids = certificate.branch_ids
+        if type(ids) is not tuple or len(ids) > MAX_BRANCH_VERTICES:
+            return UNREPRESENTABLE
+        return ids[slot] if slot < len(ids) else None
+    return get
+
+
+def _has_role(certificate: Any) -> Any:
+    role = certificate.role
+    if role is None:
+        return False
+    if type(role) is not SubdivisionRole:
+        return UNREPRESENTABLE
+    return True
+
+
+def _role_field(name: str):
+    def get(certificate: Any) -> Any:
+        role = certificate.role
+        if role is None:
+            return None
+        if type(role) is not SubdivisionRole:
+            return UNREPRESENTABLE
+        return getattr(role, name)
+    return get
+
+
+#: the ``spanning_tree`` label of a composite certificate, flattened under
+#: the exact names :func:`spanning_tree_accept` reads — compiling these into
+#: a table makes the shared sub-check work on composite certificates as-is
+NESTED_SPANNING_TREE_FIELDS = (
+    FieldSpec("total", getter=_st_field("total")),
+    FieldSpec("root_id", getter=_st_field("root_id")),
+    FieldSpec("parent_id", optional=True, getter=_st_field("parent_id")),
+    FieldSpec("distance", getter=_st_field("distance")),
+    FieldSpec("subtree_size", getter=_st_field("subtree_size")),
+)
+
+#: field layout of :class:`NonPlanarityCertificate` consumed by its kernel;
+#: identifier-valued and equality-only fields relax the magnitude bound to
+#: :data:`ID_LIMIT` (they are never segment-summed)
+NONPLANARITY_FIELDS = NESTED_SPANNING_TREE_FIELDS + (
+    FieldSpec("kind", limit=ID_LIMIT),
+    FieldSpec("branch_count", limit=ID_LIMIT, getter=_branch_count),
+    *(FieldSpec(f"branch_{slot}", optional=True, limit=ID_LIMIT,
+                getter=_branch_slot(slot))
+      for slot in range(MAX_BRANCH_VERTICES)),
+    FieldSpec("has_role", limit=ID_LIMIT, getter=_has_role),
+    FieldSpec("branch_index", optional=True, limit=ID_LIMIT,
+              getter=_role_field("branch_index")),
+    FieldSpec("path_low", optional=True, limit=ID_LIMIT,
+              getter=_role_field("path_low")),
+    FieldSpec("path_high", optional=True, limit=ID_LIMIT,
+              getter=_role_field("path_high")),
+    FieldSpec("position", optional=True, limit=ID_LIMIT,
+              getter=_role_field("position")),
+    FieldSpec("prev_id", optional=True, limit=ID_LIMIT,
+              getter=_role_field("prev_id")),
+    FieldSpec("next_id", optional=True, limit=ID_LIMIT,
+              getter=_role_field("next_id")),
+)
+
+#: node-level field layout of :class:`PlanarityCertificate`: the nested
+#: spanning-tree label (the per-edge certificates live in an EdgeListTable)
+PLANARITY_FIELDS = NESTED_SPANNING_TREE_FIELDS
+
+
+def _entry_is_tree(entry: Any) -> Any:
+    return type(entry) is TreeEdgeCertificate
+
+
+def _entry_endpoint(tree_name: str, cotree_name: str):
+    def get(entry: Any) -> Any:
+        if type(entry) is TreeEdgeCertificate:
+            return getattr(entry, tree_name)
+        return getattr(entry, cotree_name)
+    return get
+
+
+def _entry_intervals_ok(entry: Any) -> Any:
+    """Flag (not data): the entry's ``intervals`` walk cannot raise.
+
+    The interval *values* stay out of the columns — the vectorized phases
+    never read them — but the reference verifier unpacks every visible
+    entry's ``intervals`` before its DFS-mapping phase, so an entry whose
+    intervals are not a bounded tuple of int triples must force the holder's
+    viewers onto the reference path (where a malformed tuple raises exactly
+    as it would have).
+    """
+    entries = entry.intervals
+    if type(entries) is not tuple or len(entries) > MAX_INTERVAL_ENTRIES_PER_CERTIFICATE:
+        return UNREPRESENTABLE
+    for item in entries:
+        if type(item) is not tuple or len(item) != 3:
+            return UNREPRESENTABLE
+        if any(type(value) is not int and type(value) is not bool for value in item):
+            return UNREPRESENTABLE
+    return True
+
+
+#: per-entry layout of the flattened ``edge_certificates`` lists: the edge
+#: kind and the two endpoint identifiers, which is exactly what the
+#: path-consistency phase matches against the spanning-tree labels
+EDGE_CERTIFICATE_FIELDS = (
+    FieldSpec("is_tree", limit=ID_LIMIT, getter=_entry_is_tree),
+    FieldSpec("id_a", limit=ID_LIMIT, getter=_entry_endpoint("parent_id", "a_id")),
+    FieldSpec("id_b", limit=ID_LIMIT, getter=_entry_endpoint("child_id", "b_id")),
+    FieldSpec("intervals_ok", limit=ID_LIMIT, getter=_entry_intervals_ok),
+)
+
+
+# ----------------------------------------------------------------------
+# non-planarity: a full kernel
+# ----------------------------------------------------------------------
+class NonPlanarityKernel:
+    """Bulk verifier of :class:`~repro.core.nonplanarity_scheme.NonPlanarityScheme`.
+
+    Phases mirror the reference verifier:
+
+    1. *global claim* — kind valid, branch tuple of the expected size with
+       distinct entries, every neighbor agreeing on (kind, branch_ids);
+    2. *spanning-tree anchor* — the shared :func:`spanning_tree_accept`
+       prefilter, plus root anchored at branch vertex 0 (if no node survives
+       both phases the role passes are skipped entirely);
+    3. *branch role* — the node owns its claimed branch identifier and every
+       required partner edge of the subdivision pattern is matched by a
+       neighboring branch vertex or path endpoint;
+    4. *internal role* — the (low, high) pair is legal for the claimed kind
+       and the predecessor/successor links chain the subdivided path.
+    """
+
+    scheme_name = NonPlanarityScheme.name
+
+    def supports(self, scheme: Any) -> bool:
+        # the backend parameter only affects membership tests and the honest
+        # prover, never the verifier's decision function
+        return type(scheme) is NonPlanarityScheme and scheme.verification_radius == 1
+
+    def accept_vector(self, ctx: VectorContext, scheme: Any,
+                      certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        table = compile_certificates(ctx, certificates, NonPlanarityCertificate,
+                                     NONPLANARITY_FIELDS)
+        fallback = view_fallback(ctx, table)
+        src, dst, starts = ctx.src, ctx.dst, ctx.starts
+        ids = ctx.node_ids
+        n = ctx.n
+        rows = np.arange(n)
+        columns, isnone = table.columns, table.isnone
+
+        kind = columns["kind"]
+        bcount = columns["branch_count"]
+        branch = np.stack([columns[f"branch_{slot}"]
+                           for slot in range(MAX_BRANCH_VERTICES)], axis=1)
+        bnone = np.stack([isnone[f"branch_{slot}"]
+                          for slot in range(MAX_BRANCH_VERTICES)], axis=1)
+        has_role = columns["has_role"].astype(bool)
+        bindex, bindex_none = columns["branch_index"], isnone["branch_index"]
+        low, low_none = columns["path_low"], isnone["path_low"]
+        high, high_none = columns["path_high"], isnone["path_high"]
+        position, position_none = columns["position"], isnone["position"]
+        prev, prev_none = columns["prev_id"], isnone["prev_id"]
+        nxt, next_none = columns["next_id"], isnone["next_id"]
+        st_total = columns["total"]
+        st_root = columns["root_id"]
+
+        # ---- phase 1+2: global claim and spanning-tree anchor (prefilter) --
+        accept = spanning_tree_accept(ctx, table)
+        is_k33 = kind == KIND_K33
+        expected = np.where(is_k33, 6, 5)
+        accept &= ((kind == KIND_K5) | is_k33) & (bcount == expected)
+        distinct5 = np.ones(n, dtype=bool)
+        distinct6 = np.ones(n, dtype=bool)
+        for i in range(MAX_BRANCH_VERTICES):
+            for j in range(i + 1, MAX_BRANCH_VERTICES):
+                differs = branch[:, i] != branch[:, j]
+                distinct6 &= differs
+                if j < 5:
+                    distinct5 &= differs
+        accept &= np.where(is_k33, distinct6, distinct5)
+        same_claim = kind[dst] == kind[src]
+        same_claim &= bcount[dst] == bcount[src]
+        for slot in range(MAX_BRANCH_VERTICES):
+            same_claim &= (branch[dst, slot] == branch[src, slot]) \
+                & (bnone[dst, slot] == bnone[src, slot])
+        accept &= segment_all(same_claim, starts)
+        # the spanning tree anchors the existence of branch vertex 0
+        accept &= ~bnone[:, 0] & (st_root == branch[:, 0])
+        is_root_node = ids == st_root
+        accept &= ~is_root_node | (has_role & ~bindex_none & (bindex == 0))
+        if not accept.any():
+            return accept, fallback
+
+        is_branch = has_role & ~bindex_none
+        is_internal = has_role & bindex_none
+
+        # ---- phase 3: branch vertices own their id and see every partner --
+        k = bindex
+        k_ok = (0 <= k) & (k < bcount)
+        k_clip = np.clip(k, 0, MAX_BRANCH_VERTICES - 1)
+        branch_accept = k_ok & (ids == branch[rows, k_clip])
+        total_edge = st_total[src]
+        for s in range(4):
+            # the s-th required partner of branch vertex k: for K5 the s-th
+            # element of range(5) minus k; for K3,3 the s-th vertex of the
+            # opposite side (slot 3 exists only for K5)
+            partner = np.where(~is_k33, s + (s >= k),
+                               np.where(k < 3, 3 + s, s))
+            partner_clip = np.clip(partner, 0, MAX_BRANCH_VERTICES - 1)
+            partner_id = branch[rows, partner_clip]
+            partner_is_high = partner > k
+            pair_low = np.minimum(k, partner)
+            pair_high = np.maximum(k, partner)
+            found_branch = is_branch[dst] & (bindex[dst] == partner[src]) \
+                & (ids[dst] == partner_id[src])
+            found_internal = is_internal[dst] \
+                & ~low_none[dst] & (low[dst] == pair_low[src]) \
+                & ~high_none[dst] & (high[dst] == pair_high[src]) \
+                & ~position_none[dst] & (1 <= position[dst]) \
+                & (position[dst] <= total_edge)
+            path_end = np.where(
+                partner_is_high[src],
+                ~prev_none[dst] & (position[dst] == 1) & (prev[dst] == ids[src]),
+                ~next_none[dst] & (nxt[dst] == ids[src]))
+            slot_ok = segment_any(found_branch | (found_internal & path_end), starts)
+            if s == 3:
+                slot_ok |= is_k33
+            branch_accept &= slot_ok
+
+        # ---- phase 4: internal vertices chain their subdivided path -------
+        fields_ok = ~low_none & ~high_none & ~position_none \
+            & ~prev_none & ~next_none
+        range_ok = (0 <= low) & (low < high) & (high < bcount)
+        # every (low, high) pair is legal for K5; K3,3 requires opposite sides
+        pair_ok = ~is_k33 | ((low < 3) & (high >= 3))
+        position_ok = (1 <= position) & (position <= st_total)
+        low_clip = np.clip(low, 0, MAX_BRANCH_VERTICES - 1)
+        high_clip = np.clip(high, 0, MAX_BRANCH_VERTICES - 1)
+        branch_low_id = branch[rows, low_clip]
+        branch_high_id = branch[rows, high_clip]
+        prev_edge = ~prev_none[src] & (ids[dst] == prev[src])
+        next_edge = ~next_none[src] & (ids[dst] == nxt[src])
+        chain = is_internal[dst] \
+            & ~low_none[dst] & (low[dst] == low[src]) \
+            & ~high_none[dst] & (high[dst] == high[src]) & ~position_none[dst]
+        # predecessor: the previous internal vertex, or the low branch vertex
+        # exactly at position 1
+        prev_is_branch = is_branch[dst] & (bindex[dst] == low[src]) \
+            & (prev[src] == branch_low_id[src])
+        prev_is_chain = chain & (position[dst] == position[src] - 1)
+        first_position = (position == 1)[src]
+        prev_ok = segment_any(
+            prev_edge & np.where(first_position, prev_is_branch, prev_is_chain),
+            starts)
+        # successor: the next internal vertex, or the high branch vertex
+        next_is_branch = is_branch[dst] & (bindex[dst] == high[src]) \
+            & (nxt[src] == branch_high_id[src])
+        next_is_chain = chain & (position[dst] == position[src] + 1)
+        next_ok = segment_any(next_edge & (next_is_branch | next_is_chain), starts)
+        internal_accept = fields_ok & range_ok & pair_ok & position_ok \
+            & prev_ok & next_ok
+
+        accept &= ~has_role | np.where(is_branch, branch_accept, internal_accept)
+        return accept, fallback
+
+
+# ----------------------------------------------------------------------
+# planarity: a prefilter kernel (Algorithm 2, Phases 2a + path consistency)
+# ----------------------------------------------------------------------
+#: give up on the path-consistency join when the flattened
+#: (viewer, edge certificate) pair set exceeds this multiple of the CSR size
+#: — adversarial assignments can stuff one node's certificate list, and the
+#: surviving nodes fall back to the reference verifier anyway
+_JOIN_BUDGET_FACTOR = 64
+
+
+class PlanarityKernel:
+    """Prefilter kernel of :class:`~repro.core.planarity_scheme.PlanarityScheme`.
+
+    ``accept[i]`` is meaningful only where it is ``False``: the vectorized
+    phases are necessary conditions of Algorithm 2, so a failing node is
+    rejected exactly like the reference verifier would.  Every node that
+    *passes* them is flagged for fallback (the remaining phases re-assemble
+    per-node certificate sets, which has no bounded-width array form), so the
+    engine re-decides it with the reference verifier and decisions stay
+    byte-identical.  The win is on adversarial bulk sweeps, where most nodes
+    die in the vectorized phases.
+    """
+
+    scheme_name = PlanarityScheme.name
+
+    def supports(self, scheme: Any) -> bool:
+        # prover-side parameters (embedding backend, spanning-tree builder,
+        # root) never change the verifier; distribute_by_degeneracy does, and
+        # accept_vector reads it, so both settings are supported
+        return type(scheme) is PlanarityScheme and scheme.verification_radius == 1
+
+    def accept_vector(self, ctx: VectorContext, scheme: Any,
+                      certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        table = compile_certificates(ctx, certificates, PlanarityCertificate,
+                                     PLANARITY_FIELDS)
+        edges = compile_edge_lists(ctx, certificates, PlanarityCertificate,
+                                   "edge_certificates",
+                                   (TreeEdgeCertificate, CotreeEdgeCertificate),
+                                   EDGE_CERTIFICATE_FIELDS)
+        src, dst, starts = ctx.src, ctx.dst, ctx.starts
+        ids = ctx.node_ids
+        n = ctx.n
+        present = table.present
+        parent = table.columns["parent_id"]
+        parent_none = table.isnone["parent_id"]
+
+        bad = table.unrepresentable | edges.unrepresentable
+        fallback = bad | segment_any(bad[dst], starts)
+
+        # ---- Phase 2a: T is a spanning tree of G --------------------------
+        accept = spanning_tree_accept(ctx, table)
+        if scheme.distribute_by_degeneracy:
+            # planar graphs are 5-degenerate; the honest prover never charges
+            # more certificates to a node, and the verifier enforces it
+            accept &= edges.counts <= MAX_EDGE_CERTIFICATES_PER_NODE
+
+        # ---- path consistency: every incident edge is covered by an edge
+        # certificate whose kind and orientation match the spanning tree ----
+        need_parent = ~parent_none[src] & (ids[dst] == parent[src])
+        need_child = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
+        matched = self._edge_matches(ctx, edges)
+        if matched is not None:
+            has_parent_form, has_child_form, has_cotree_form = matched
+            edge_ok = (~need_parent | has_parent_form) \
+                & (~need_child | has_child_form) \
+                & (need_parent | need_child | has_cotree_form)
+            accept &= segment_all(edge_ok, starts)
+
+        # survivors of the vectorized phases are re-decided by the reference
+        # verifier wholesale — the remaining Algorithm 2 phases stay there
+        fallback |= accept
+        return accept, fallback
+
+    @staticmethod
+    def _edge_matches(ctx: VectorContext, edges: Any):
+        """Per-directed-edge booleans: a matching certificate is visible.
+
+        For the directed edge ``(u, v)`` a certificate *matches* when its
+        endpoint identifiers are exactly ``{id(u), id(v)}`` and it is visible
+        at ``u`` (held by ``u`` or one of its neighbors); the three returned
+        arrays split matches by form — tree certificate oriented ``v → u``
+        (parent form), tree certificate oriented ``u → v`` (child form), and
+        cotree certificate (either orientation).  Returns ``None`` when the
+        (viewer, certificate) join would exceed the size budget; callers then
+        skip the phase (the affected nodes simply stay on the fallback path).
+        """
+        n = ctx.n
+        ids = ctx.node_ids
+        src, dst = ctx.src, ctx.dst
+        counts = edges.counts
+        holder = np.repeat(np.arange(n), counts)
+        entries_total = int(counts.sum())
+        csr_size = len(dst) + n
+        if entries_total == 0:
+            empty = np.zeros(len(dst), dtype=bool)
+            return empty, empty.copy(), empty.copy()
+        # (viewer, entry) pairs: each entry is visible at its holder and at
+        # every neighbor of its holder
+        pair_sizes = ctx.degrees[holder] + 1
+        if int(pair_sizes.sum()) > _JOIN_BUDGET_FACTOR * csr_size:
+            return None
+        viewer_self = holder
+        # entries of dst[j] are visible to src[j]: expand each directed edge
+        # by the entry count of its head
+        per_edge = counts[dst]
+        viewer_nb = np.repeat(src, per_edge)
+        entry_nb = _concat_ranges(edges.offsets[dst], per_edge)
+        viewer = np.concatenate([viewer_self, viewer_nb])
+        entry = np.concatenate([np.arange(entries_total), entry_nb])
+
+        id_a = edges.columns["id_a"][entry]
+        id_b = edges.columns["id_b"][entry]
+        is_tree = edges.columns["is_tree"][entry].astype(bool)
+        viewer_id = ids[viewer]
+        incident = (id_a == viewer_id) | (id_b == viewer_id)
+        # identifiers are distinct and below 2**62, so the endpoint sum
+        # recovers "the other endpoint" without overflow
+        other_id = id_a + id_b - viewer_id
+        proper = incident & (other_id != viewer_id)
+
+        # resolve the other endpoint to a node index (misses drop out)
+        order, sorted_ids = ctx.id_index()
+        slot = np.searchsorted(sorted_ids, other_id)
+        slot_clip = np.minimum(slot, n - 1)
+        resolved = proper & (sorted_ids[slot_clip] == other_id)
+        other = order[slot_clip]
+
+        # map (viewer, other) to its directed-edge position; non-adjacent
+        # pairs drop out (the certificate mentions a non-edge — harmless
+        # here, the coverage conjunct simply stays unsatisfied)
+        edge_order, sorted_keys = ctx.edge_index()
+        pair_keys = viewer * n + other
+        position = np.searchsorted(sorted_keys, pair_keys)
+        position_clip = np.minimum(position, len(sorted_keys) - 1)
+        adjacent = resolved & (sorted_keys[position_clip] == pair_keys)
+        edge_at = edge_order[position_clip]
+
+        keep = adjacent
+        edge_at = edge_at[keep]
+        id_a, id_b = id_a[keep], id_b[keep]
+        is_tree = is_tree[keep]
+        viewer_id = viewer_id[keep]
+        other_id = other_id[keep]
+
+        m = len(dst)
+        parent_form = scatter_any(is_tree & (id_a == other_id) & (id_b == viewer_id),
+                                  edge_at, m)
+        child_form = scatter_any(is_tree & (id_a == viewer_id) & (id_b == other_id),
+                                 edge_at, m)
+        cotree_form = scatter_any(~is_tree, edge_at, m)
+        return parent_form, child_form, cotree_form
+
+
+def _concat_ranges(starts: Any, lengths: Any) -> Any:
+    """Concatenate ``arange(starts[i], starts[i] + lengths[i])`` blocks."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    nonzero = lengths > 0
+    starts = starts[nonzero]
+    lengths = lengths[nonzero]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    block_ends = np.cumsum(lengths)[:-1]
+    out[block_ends] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    return np.cumsum(out)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.core.planarity_scheme import PlanarityScheme
@@ -99,6 +102,67 @@ class TestRegistryBehaviour:
         assert "planarity-pls" in registry
         assert len(registry) == 1
         assert [entry.name for entry in registry] == ["planarity-pls"]
+
+    def test_kernel_discovery_with_and_without_kernels(self):
+        """``kernel_for`` resolves exactly the schemes that registered a
+        kernel and whose ``supports`` check passes (numpy installs only —
+        the registry itself is kernel-agnostic either way)."""
+        pytest.importorskip("numpy")
+        registry = default_registry()
+        with_kernels = set(registry.kernel_names())
+        for name in EXPECTED_NAMES:
+            if registry.entry(name).kind != "pls":
+                continue
+            scheme = registry.create(name)
+            kernel = registry.kernel_for(scheme)
+            if name in with_kernels:
+                assert kernel is not None and kernel.supports(scheme)
+                assert kernel.scheme_name == name
+                assert registry.kernel(name) is kernel
+            else:
+                assert kernel is None
+                assert registry.kernel(name) is None
+
+    def test_kernel_reregistration(self):
+        """Re-registration: duplicate guarded, replace swaps, scheme
+        re-registration keeps the kernel, unregistering drops it."""
+        pytest.importorskip("numpy")
+        from repro.vectorized import PlanarityKernel
+
+        registry = SchemeRegistry()
+        first, second = PlanarityKernel(), PlanarityKernel()
+        with pytest.raises(RegistryError, match="unknown scheme"):
+            registry.register_kernel("planarity-pls", first)
+        registry.register("planarity-pls", PlanarityScheme)
+        registry.register_kernel("planarity-pls", first)
+        with pytest.raises(RegistryError, match="already has a kernel"):
+            registry.register_kernel("planarity-pls", second)
+        registry.register_kernel("planarity-pls", second, replace=True)
+        assert registry.kernel("planarity-pls") is second
+        # replacing the scheme entry does not silently drop its kernel ...
+        registry.register("planarity-pls", PlanarityScheme, replace=True)
+        assert registry.kernel("planarity-pls") is second
+        # ... but unregistering the scheme does
+        registry.unregister("planarity-pls")
+        assert registry.kernel("planarity-pls") is None
+
+    def test_backend_support_matrix_matches_architecture_docs(self):
+        """The backend-support matrix in docs/ARCHITECTURE.md is the
+        documented contract; it must agree with ``default_registry()``."""
+        pytest.importorskip("numpy")
+        docs = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
+        rows = re.findall(r"^\| `([\w-]+)` \| (\w+) \| (?:`(\w+)`|—) \|",
+                          docs.read_text(), flags=re.MULTILINE)
+        documented = {name: (kind, kernel or None) for name, kind, kernel in rows}
+        registry = default_registry()
+        assert set(documented) == set(registry.names())
+        for name, (kind, kernel_class) in documented.items():
+            assert registry.entry(name).kind == kind
+            kernel = registry.kernel(name)
+            if kernel_class is None:
+                assert kernel is None
+            else:
+                assert type(kernel).__name__ == kernel_class
 
     def test_explicit_description_skips_factory_call(self):
         calls = []

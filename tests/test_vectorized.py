@@ -12,6 +12,8 @@ import pytest
 np = pytest.importorskip("numpy")
 
 from repro.core.building_blocks import PathGraphScheme, TreeScheme
+from repro.core.nonplanarity_scheme import NonPlanarityScheme, SubdivisionRole
+from repro.core.planarity_scheme import PlanarityScheme
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
 from repro.distributed.registry import SchemeRegistry, default_registry
@@ -20,6 +22,7 @@ from repro.exceptions import RegistryError
 from repro.graphs.generators import (
     cycle_graph,
     delaunay_planar_graph,
+    k5_subdivision,
     path_graph,
     planar_plus_random_edges,
     random_tree,
@@ -27,7 +30,9 @@ from repro.graphs.generators import (
 )
 from repro.vectorized import (
     INT_LIMIT,
+    NonPlanarityKernel,
     PathGraphKernel,
+    PlanarityKernel,
     TreeKernel,
     build_vector_context,
 )
@@ -38,6 +43,8 @@ def yes_instance(name: str):
     return {
         "path-graph-pls": path_graph(16),
         "tree-pls": random_tree(24, seed=3),
+        "non-planarity-pls": k5_subdivision(2, seed=3),
+        "planarity-pls": delaunay_planar_graph(24, seed=3),
     }[name]
 
 
@@ -55,18 +62,29 @@ def assert_backends_agree(scheme, network, certificates):
 class TestKernelRegistry:
     def test_builtin_kernels_registered(self):
         registry = default_registry()
-        assert registry.kernel_names() == ["path-graph-pls", "tree-pls"]
+        assert registry.kernel_names() == [
+            "non-planarity-pls", "path-graph-pls", "planarity-pls", "tree-pls"]
 
     def test_kernel_for_resolves_exact_schemes_only(self):
         registry = default_registry()
         assert isinstance(registry.kernel_for(TreeScheme()), TreeKernel)
         assert isinstance(registry.kernel_for(PathGraphScheme()), PathGraphKernel)
-        assert registry.kernel_for(registry.create("planarity-pls")) is None
+        assert isinstance(registry.kernel_for(NonPlanarityScheme()),
+                          NonPlanarityKernel)
+        assert isinstance(registry.kernel_for(PlanarityScheme()), PlanarityKernel)
+        # prover-side parametrisations keep the verifier, hence the kernel
+        assert isinstance(registry.kernel_for(
+            PlanarityScheme(distribute_by_degeneracy=False)), PlanarityKernel)
+        assert registry.kernel_for(registry.create("universal-map-pls")) is None
 
         class SubclassedTree(TreeScheme):
             """Could override verify; must never be served by the kernel."""
 
+        class SubclassedNonPlanarity(NonPlanarityScheme):
+            """Same: subclasses must take the reference path."""
+
         assert registry.kernel_for(SubclassedTree()) is None
+        assert registry.kernel_for(SubclassedNonPlanarity()) is None
 
     def test_kernel_registration_guards(self):
         registry = SchemeRegistry()
@@ -110,7 +128,7 @@ class TestEngineBackendSelection:
         assert decisions == run_verification(scheme, network, certificates).decisions
 
     def test_scheme_without_kernel_falls_back(self):
-        scheme = default_registry().create("planarity-pls")
+        scheme = default_registry().create("universal-map-pls")
         graph = delaunay_planar_graph(20, seed=4)
         network = Network(graph, seed=4)
         certificates = scheme.prove(network)
@@ -251,6 +269,78 @@ class TestUnrepresentableCertificates:
         assert_backends_agree(scheme, network, certificates)
 
 
+class TestPaperKernels:
+    """Scheme-specific behavior of the non-planarity and planarity kernels
+    (the generic decision-identity property is fuzzed below)."""
+
+    def test_nonplanarity_k33_witness(self):
+        from repro.graphs.generators import k33_subdivision
+
+        scheme = default_registry().create("non-planarity-pls")
+        network = Network(k33_subdivision(2, seed=6), seed=6)
+        honest = scheme.prove(network)
+        assert_backends_agree(scheme, network, honest)
+
+    def test_nonplanarity_unrepresentable_nested_fields(self):
+        scheme = default_registry().create("non-planarity-pls")
+        network = Network(yes_instance("non-planarity-pls"), seed=2)
+        honest = scheme.prove(network)
+        victims = sorted(honest, key=repr)[:2]
+        cases = [
+            ("st-none", lambda c: dataclasses.replace(c, spanning_tree=None)),
+            ("branch-overflow", lambda c: dataclasses.replace(
+                c, branch_ids=c.branch_ids + tuple(range(10)))),
+            ("branch-huge-id", lambda c: dataclasses.replace(
+                c, branch_ids=((1 << 70),) + c.branch_ids[1:])),
+            ("role-huge-position", lambda c: dataclasses.replace(
+                c, role=SubdivisionRole.internal(0, 1, (1 << 70), 1, 2)),),
+        ]
+        for _, mutate in cases:
+            certificates = dict(honest)
+            for victim in victims:
+                certificates[victim] = mutate(honest[victim])
+            assert_backends_agree(scheme, network, certificates)
+
+    def test_planarity_prefilter_rejects_finally_and_defers_survivors(self):
+        """The planarity kernel's contract: accepted nodes are re-decided by
+        the reference verifier (fallback), rejected nodes are final — and on
+        a corrupted assignment some nodes really are decided in array form."""
+        scheme = default_registry().create("planarity-pls")
+        network = Network(yes_instance("planarity-pls"), seed=5)
+        honest = scheme.prove(network)
+        ctx = build_vector_context(network)
+        kernel = default_registry().kernel_for(scheme)
+
+        accept, fallback = kernel.accept_vector(ctx, scheme, honest)
+        assert not (accept & ~fallback).any()  # survivors always fall back
+        assert fallback.all()                  # honest assignment: everyone survives
+
+        rng = random.Random(1)
+        nodes = sorted(honest, key=repr)
+        corrupted = dict(honest)
+        for _ in range(4):
+            a, b = rng.sample(nodes, 2)
+            corrupted[a], corrupted[b] = corrupted[b], corrupted[a]
+        accept, fallback = kernel.accept_vector(ctx, scheme, corrupted)
+        assert not (accept & ~fallback).any()
+        final_rejects = ~accept & ~fallback
+        assert final_rejects.any()             # the prefilter decided something
+        assert_backends_agree(scheme, network, corrupted)
+
+    def test_planarity_pool_shuffle_attack_agrees(self):
+        """The attack inner-loop shape: random donor certificates on a
+        non-planar network — most nodes die in the vectorized phases."""
+        scheme = default_registry().create("planarity-pls")
+        network = Network(planar_plus_random_edges(24, extra_edges=2, seed=7), seed=7)
+        donor = scheme.prove(Network(yes_instance("planarity-pls"), seed=7))
+        pool = list(donor.values())
+        rng = random.Random(3)
+        for _ in range(3):
+            certificates = {node: pool[rng.randrange(len(pool))]
+                            for node in network.nodes()}
+            assert_backends_agree(scheme, network, certificates)
+
+
 # ----------------------------------------------------------------------
 # differential fuzz harness
 # ----------------------------------------------------------------------
@@ -268,13 +358,99 @@ def _fuzz_graphs():
 
 
 def _int_fields(certificate):
-    return [f.name for f in dataclasses.fields(certificate)]
+    """Fields declared as (optional) ints.  Nested structure is mutated
+    separately: swapping e.g. a composite certificate's ``role`` for an int
+    would make the reference verifier raise rather than decide."""
+    return [f.name for f in dataclasses.fields(certificate)
+            if str(f.type).startswith("int")]
+
+
+def _mutate_nested(certificate, rng):
+    """One structure-aware mutation of a composite (paper-scheme) certificate.
+
+    Returns ``None`` when the certificate has no nested structure to mutate
+    (the building-block labels), letting the caller fall through to the flat
+    field tweaks.
+    """
+    choices = []
+    st = getattr(certificate, "spanning_tree", None)
+    if st is not None and dataclasses.is_dataclass(st):
+        def tweak_st():
+            field = rng.choice(_int_fields(st))
+            values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
+            if field == "parent_id":
+                values.append(None)
+            return dataclasses.replace(certificate, spanning_tree=dataclasses.replace(
+                st, **{field: rng.choice(values)}))
+        choices.append(tweak_st)
+    branch_ids = getattr(certificate, "branch_ids", None)
+    if isinstance(branch_ids, tuple):
+        def tweak_branch():
+            ids = list(branch_ids)
+            op = rng.randrange(3)
+            if op == 0 and ids:  # overwrite a slot (possibly duplicating one)
+                ids[rng.randrange(len(ids))] = rng.choice(
+                    [0, ids[0], rng.randrange(1 << 20), (1 << 70)])
+            elif op == 1:  # grow past the expected width
+                ids.append(rng.randrange(1 << 20))
+            elif ids:  # shrink below it
+                ids.pop()
+            return dataclasses.replace(certificate, branch_ids=tuple(ids))
+        choices.append(tweak_branch)
+    if hasattr(certificate, "role"):
+        role = certificate.role
+
+        def tweak_role():
+            op = rng.randrange(4)
+            if op == 0:
+                return dataclasses.replace(certificate, role=None)
+            if op == 1:
+                return dataclasses.replace(certificate, role=SubdivisionRole.branch(
+                    rng.choice([-1, 0, 1, 2, 3, 4, 5, 6])))
+            if op == 2:
+                low, high = sorted(rng.sample(range(6), 2))
+                return dataclasses.replace(certificate, role=SubdivisionRole.internal(
+                    low, high, rng.randrange(0, 5),
+                    rng.randrange(1 << 20), rng.randrange(1 << 20)))
+            if role is not None:
+                field = rng.choice(_int_fields(role))
+                return dataclasses.replace(certificate, role=dataclasses.replace(
+                    role, **{field: rng.choice([None, -1, 0, 1, 3, (1 << 70)])}))
+            return dataclasses.replace(certificate, role=None)
+        choices.append(tweak_role)
+    edge_certs = getattr(certificate, "edge_certificates", None)
+    if isinstance(edge_certs, tuple):
+        def tweak_edges():
+            entries = list(edge_certs)
+            op = rng.randrange(4)
+            if op == 0:
+                return dataclasses.replace(certificate, edge_certificates=())
+            if op == 1 and entries:  # drop one entry (breaks edge coverage)
+                entries.pop(rng.randrange(len(entries)))
+            elif op == 2 and entries:  # flip a tree edge's orientation, or
+                # retarget a cotree endpoint
+                index = rng.randrange(len(entries))
+                entry = entries[index]
+                if entry.is_tree_edge:
+                    entries[index] = dataclasses.replace(
+                        entry, parent_id=entry.child_id, child_id=entry.parent_id)
+                else:
+                    entries[index] = dataclasses.replace(
+                        entry, a_id=rng.randrange(1 << 20))
+            else:  # blow past the degeneracy cap
+                entries = entries * 3
+            return dataclasses.replace(certificate,
+                                       edge_certificates=tuple(entries))
+        choices.append(tweak_edges)
+    if not choices:
+        return None
+    return rng.choice(choices)()
 
 
 def _corrupt(certificates, nodes, rng):
     """Apply one random corruption; returns a fresh assignment."""
     mutated = dict(certificates)
-    operation = rng.randrange(5)
+    operation = rng.randrange(6)
     node = rng.choice(nodes)
     if operation == 0:  # swap two nodes' certificates
         other = rng.choice(nodes)
@@ -284,21 +460,28 @@ def _corrupt(certificates, nodes, rng):
     elif operation == 2:  # duplicate another node's certificate
         mutated[node] = mutated[rng.choice(nodes)]
     elif operation == 3 and mutated[node] is not None:  # tweak one field
-        field = rng.choice(_int_fields(mutated[node]))
+        fields = _int_fields(mutated[node])
+        field = rng.choice(fields) if fields else None
         values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
         if field == "parent_id":
             # None stays confined to the optional field: the reference checks
             # would raise (not decide) on e.g. a None total, and the backends
             # only promise identical *decisions*
             values.append(None)
-        mutated[node] = dataclasses.replace(mutated[node],
-                                            **{field: rng.choice(values)})
+        if field is not None:
+            mutated[node] = dataclasses.replace(mutated[node],
+                                                **{field: rng.choice(values)})
     elif operation == 4 and mutated[node] is not None:  # offset one field
-        field = rng.choice(_int_fields(mutated[node]))
-        current = getattr(mutated[node], field)
+        fields = _int_fields(mutated[node])
+        field = rng.choice(fields) if fields else None
+        current = getattr(mutated[node], field) if field is not None else None
         if isinstance(current, int):
             mutated[node] = dataclasses.replace(
                 mutated[node], **{field: current + rng.choice([-1, 1])})
+    elif operation == 5 and mutated[node] is not None:  # nested mutation
+        nested = _mutate_nested(mutated[node], rng)
+        if nested is not None:
+            mutated[node] = nested
     return mutated
 
 
