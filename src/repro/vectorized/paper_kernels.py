@@ -125,13 +125,22 @@ def _branch_slot(slot: int):
 
     The tuple is at most :data:`MAX_BRANCH_VERTICES` long for every valid
     kind, so it flattens into that many optional columns plus a count column;
-    longer (or non-tuple) values are unrepresentable.
+    longer (or non-tuple) values are unrepresentable.  The ``None`` mask of a
+    slot column encodes *padding only* (``slot >= len``): a ``None`` sitting
+    *inside* the tuple is also unrepresentable, because the kernel compares
+    slot values against genuine identifiers (distinctness, the root/partner/
+    path-end anchors) without consulting the mask, and a masked ``None``
+    stored as ``0`` would conflate with a real identifier ``0``.
     """
     def get(certificate: Any) -> Any:
         ids = certificate.branch_ids
         if type(ids) is not tuple or len(ids) > MAX_BRANCH_VERTICES:
             return UNREPRESENTABLE
-        return ids[slot] if slot < len(ids) else None
+        if slot >= len(ids):
+            return None
+        if ids[slot] is None:
+            return UNREPRESENTABLE
+        return ids[slot]
     return get
 
 

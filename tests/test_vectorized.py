@@ -301,6 +301,29 @@ class TestPaperKernels:
                 certificates[victim] = mutate(honest[victim])
             assert_backends_agree(scheme, network, certificates)
 
+    def test_nonplanarity_none_inside_branch_ids_takes_the_fallback(self):
+        """A ``None`` *inside* ``branch_ids`` looks storable (the slot columns
+        are optional) but must be unrepresentable: masked ``None`` is stored
+        as column value ``0``, which would conflate with a genuine identifier
+        ``0`` — tripping the distinctness check on tuples the reference
+        accepts and, worse, letting the id-0 node match the root/partner/
+        path-end anchors the reference rejects."""
+        scheme = default_registry().create("non-planarity-pls")
+        graph = yes_instance("non-planarity-pls")
+        # explicit ids 0..n-1: identifier 0 really exists, so a masked None
+        # stored as 0 could anchor against a real node
+        network = Network(graph, ids={
+            node: index
+            for index, node in enumerate(sorted(graph.nodes(), key=repr))})
+        honest = scheme.prove(network)
+        branch_ids = next(iter(honest.values())).branch_ids
+        for slot in range(len(branch_ids)):
+            poisoned = branch_ids[:slot] + (None,) + branch_ids[slot + 1:]
+            certificates = {
+                node: dataclasses.replace(certificate, branch_ids=poisoned)
+                for node, certificate in honest.items()}
+            assert_backends_agree(scheme, network, certificates)
+
     def test_planarity_prefilter_rejects_finally_and_defers_survivors(self):
         """The planarity kernel's contract: accepted nodes are re-decided by
         the reference verifier (fallback), rejected nodes are final — and on
@@ -388,9 +411,11 @@ def _mutate_nested(certificate, rng):
         def tweak_branch():
             ids = list(branch_ids)
             op = rng.randrange(3)
-            if op == 0 and ids:  # overwrite a slot (possibly duplicating one)
+            if op == 0 and ids:  # overwrite a slot (possibly duplicating one,
+                # or planting a None *inside* the tuple — unrepresentable, so
+                # the None-vs-0 column encoding is never trusted with it)
                 ids[rng.randrange(len(ids))] = rng.choice(
-                    [0, ids[0], rng.randrange(1 << 20), (1 << 70)])
+                    [None, 0, ids[0], rng.randrange(1 << 20), (1 << 70)])
             elif op == 1:  # grow past the expected width
                 ids.append(rng.randrange(1 << 20))
             elif ids:  # shrink below it
