@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of the per-experiment index
+in ``DESIGN.md`` / ``EXPERIMENTS.md``: it prints the experiment's table (the
+"figure" of this reproduction) and uses ``pytest-benchmark`` to time the
+operation that the experiment stresses.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The standalone sweep scripts (``bench_engine.py``, ``bench_vectorized.py``,
+``bench_protocols.py``) import :func:`provenance` from here so every
+committed ``BENCH_*.json`` records the machine and interpreter it was
+measured on — without that header, rows like the engine benchmark's
+process-pool section are uninterpretable (pool overhead on a single-core CI
+container looks like a slowdown, not a scaling result).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any
+
+from repro.analysis.tables import format_table
+
+
+def emit(rows, title: str) -> None:
+    """Print an experiment table (shown with ``-s``; captured otherwise)."""
+    print()
+    print(format_table(rows, title=title))
+
+
+def provenance(workers: int | None = None) -> dict[str, Any]:
+    """Describe the machine and interpreter a benchmark payload was measured on.
+
+    ``workers`` records the process-pool width the benchmark used (when it
+    used one); reading it next to ``cpu_count`` tells a reader whether a
+    pooled row could possibly have shown a speedup on this box.
+    """
+    info: dict[str, Any] = {
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    if workers is not None:
+        info["workers"] = workers
+    return info
+
+
+__all__ = ["emit", "provenance"]

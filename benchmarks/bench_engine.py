@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from bench_common import provenance
 from repro.distributed.adversary import random_certificate_attack, transplant_attack
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
@@ -271,6 +272,9 @@ def main() -> None:
         "schemes": ["planarity-pls", "non-planarity-pls"],
         "seed": SEED,
         "quick": args.quick,
+        # the trial_pool row is only interpretable next to cpu_count: with a
+        # single core the pool can show overhead, never a speedup
+        "provenance": provenance(workers=POOL_WORKERS),
         "sweep": {"planarity_sizes": sizes,
                   "nonplanarity_completeness_sizes": np_sizes,
                   "attack_trials": trials},

@@ -37,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from bench_common import provenance
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
 from repro.distributed.registry import default_registry
@@ -214,6 +215,7 @@ def main() -> None:
         "schemes": sorted({o[0] for o in reference_outcomes}),
         "seed": SEED,
         "quick": args.quick,
+        "provenance": provenance(),
         "sweep": {"sizes": sizes, "planarity_sizes": planarity_sizes,
                   "corrupted_assignments_per_instance": trials},
         "reference_seconds": round(total_ref, 3),

@@ -1,19 +1,14 @@
-"""Shared helpers for the benchmark harness.
+"""Pytest-facing shim over the shared benchmark helpers.
 
-Every benchmark module regenerates one experiment of the per-experiment index
-in ``DESIGN.md`` / ``EXPERIMENTS.md``: it prints the experiment's table (the
-"figure" of this reproduction) and uses ``pytest-benchmark`` to time the
-operation that the experiment stresses.  Run with::
-
-    pytest benchmarks/ --benchmark-only -s
+The real helpers live in :mod:`bench_common` (importable both by pytest,
+which inserts this directory on ``sys.path`` for rootdir collection, and by
+the standalone sweep scripts run as ``python benchmarks/bench_x.py``); this
+module re-exports them so existing ``from conftest import emit`` call sites
+keep working.
 """
 
 from __future__ import annotations
 
-from repro.analysis.tables import format_table
+from bench_common import emit, provenance
 
-
-def emit(rows, title: str) -> None:
-    """Print an experiment table (shown with ``-s``; captured otherwise)."""
-    print()
-    print(format_table(rows, title=title))
+__all__ = ["emit", "provenance"]

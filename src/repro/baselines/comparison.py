@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.distributed.engine import SimulationEngine
-from repro.distributed.interactive import run_interactive_protocol
 from repro.distributed.registry import SchemeRegistry, default_registry
 from repro.graphs.graph import Graph
 
@@ -66,8 +65,11 @@ def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None
     provided (it certifies the complementary class).  Schemes are resolved
     through ``registry`` (defaulting to the shared :func:`default_registry`)
     and executed through ``engine`` (defaulting to a fresh engine per call —
-    pass one in to share caches across calls), so the same networks and
-    honest certificates are never rebuilt between rows of one table.
+    pass one in to share caches across calls), so the same networks, honest
+    certificates, and Merlin first turns are never rebuilt between rows of
+    one table: the dMAM row runs through
+    :meth:`~repro.distributed.engine.SimulationEngine.run_interactive` on the
+    same cached view structures as the PLS rows.
     """
     engine = engine if engine is not None else SimulationEngine()
     registry = registry if registry is not None else default_registry()
@@ -89,7 +91,7 @@ def compare_schemes_on(planar_graph: Graph, nonplanar_graph: Graph | None = None
         ))
 
     protocol = registry.create("planarity-dmam")
-    transcript = run_interactive_protocol(protocol, network, seed=seed)
+    transcript = engine.run_interactive(protocol, network, seed=seed)
     rows.append(ComparisonRow(
         scheme=protocol.name,
         interactions=protocol.interactions,

@@ -39,6 +39,7 @@ deterministic one-interaction scheme of Theorem 1 is compared.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.dfs_mapping import cut_open
 from repro.core.planarity_scheme import (
@@ -49,7 +50,7 @@ from repro.core.planarity_scheme import (
 )
 from repro.core.building_blocks import spanning_tree_labels
 from repro.distributed.certificates import BitWriter, Encodable
-from repro.distributed.interactive import InteractiveProtocol
+from repro.distributed.interactive import FirstTurn, InteractiveProtocol
 from repro.distributed.network import LocalView, Network
 from repro.exceptions import NotInClassError
 from repro.graphs.degeneracy import assign_edges_by_degeneracy
@@ -161,6 +162,16 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
     # Merlin, turn 1
     # ------------------------------------------------------------------
     def merlin_first(self, network: Network) -> dict[Node, DMAMFirstMessage]:
+        return self.first_turn(network).messages
+
+    def first_turn(self, network: Network) -> FirstTurn:
+        """Turn 1 with its prover context (the cut-open decomposition) explicit.
+
+        The decomposition is carried in ``FirstTurn.state`` so the second
+        turn can be replayed against many challenge draws — and cached per
+        ``(network, protocol)`` by the simulation engine — without relying
+        on instance state left over from the *last* first turn.
+        """
         graph = network.graph
         if not self.is_member(graph):
             raise NotInClassError("the network is not planar")
@@ -211,14 +222,22 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
                                for index in decomposition.mapping.copies[node])
             messages[node] = DMAMFirstMessage(structure=structure, stack_heights=my_heights)
         self._last_decomposition = decomposition
-        return messages
+        return FirstTurn(messages=messages, state=decomposition)
 
     # ------------------------------------------------------------------
     # Merlin, turn 2 (after Arthur's coins)
     # ------------------------------------------------------------------
     def merlin_second(self, network: Network, first: dict[Node, DMAMFirstMessage],
                       challenges: dict[Node, int]) -> dict[Node, DMAMSecondMessage]:
-        decomposition = self._last_decomposition
+        return self._second_from(self._last_decomposition, network, challenges)
+
+    def second_turn(self, network: Network, turn: FirstTurn,
+                    challenges: dict[Node, int]) -> dict[Node, DMAMSecondMessage]:
+        state = turn.state if turn.state is not None else self._last_decomposition
+        return self._second_from(state, network, challenges)
+
+    def _second_from(self, decomposition, network: Network,
+                     challenges: dict[Node, int]) -> dict[Node, DMAMSecondMessage]:
         tree = decomposition.tree
         root = tree.root
         z = challenges[root] % FIELD_PRIME
@@ -265,110 +284,160 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
     # ------------------------------------------------------------------
     # verification round
     # ------------------------------------------------------------------
+    # The verifier is a conjunction of two kinds of checks: deterministic
+    # structural ones that depend only on Merlin's *first* message (Algorithm
+    # 2 reconstruction, stack-height consistency, the chord-event encodings
+    # behind the fingerprint factors) and randomized ones that depend on the
+    # challenge and the *second* message (coin consistency, fingerprint
+    # products).  ``prepare_verifier`` runs the first kind once per
+    # (network, first assignment); ``verify_with_state`` finishes from that
+    # state, so soundness estimation over many challenge draws does not
+    # re-derive the structure per draw.  ``verify`` composes the two and is
+    # decision-identical to the historical monolithic implementation.
+
     def verify(self, view: LocalView, challenge: int,
                neighbor_challenges: dict[int, int]) -> bool:
-        pair = view.certificate
-        if not isinstance(pair, tuple) or len(pair) != 2:
-            return False
-        first, second = pair
-        if not isinstance(first, DMAMFirstMessage) or not isinstance(second, DMAMSecondMessage):
-            return False
+        state = self.prepare_verifier(_first_components_view(view))
+        return self.verify_with_state(state, view, challenge, neighbor_challenges)
+
+    def prepare_verifier(self, first_view: LocalView) -> "_PreparedVerifier | object":
+        """Challenge-independent half of the verifier (turn-1 messages only)."""
+        first = first_view.certificate
+        if not isinstance(first, DMAMFirstMessage):
+            return _REJECT
 
         # re-run the deterministic structural checks of Algorithm 2 on a view
         # whose certificates are the embedded PlanarityCertificate structures
         structural_view = LocalView(
-            center_id=view.center_id,
+            center_id=first_view.center_id,
             certificate=first.structure,
-            neighbor_ids=view.neighbor_ids,
+            neighbor_ids=first_view.neighbor_ids,
             certificates={
-                nid: (cert[0].structure
-                      if isinstance(cert, tuple) and len(cert) == 2
-                      and isinstance(cert[0], DMAMFirstMessage)
-                      else None)
-                for nid, cert in view.certificates.items()
+                nid: (cert.structure if isinstance(cert, DMAMFirstMessage) else None)
+                for nid, cert in first_view.certificates.items()
             },
-            ball=view.ball,
-            radius=view.radius,
+            ball=first_view.ball,
+            radius=first_view.radius,
         )
         structure = reconstruct_local_structure(structural_view, enforce_certificate_cap=True)
         if structure is None:
-            return False
+            return _REJECT
         if structure.is_single_node:
-            return True
+            return _SINGLE_NODE
         n_path = structure.path_length
 
         neighbor_first: dict[int, DMAMFirstMessage] = {}
+        for nid in first_view.neighbor_ids:
+            cert = first_view.certificates.get(nid)
+            if not isinstance(cert, DMAMFirstMessage):
+                return _REJECT
+            neighbor_first[nid] = cert
+
+        # stack heights: committed per copy, consistent with my chord events
+        # and with the heights claimed for the neighboring copies.  A
+        # garbage-typed ``stack_heights`` field (not a pair sequence, or
+        # non-numeric heights) is a rejection, not a crash: the type-level
+        # guard matters here because this half now runs *before* the
+        # second-message type checks that used to shield it in the
+        # monolithic verifier.
+        try:
+            my_heights = dict(first.stack_heights)
+            if set(my_heights) != set(structure.copies):
+                return _REJECT
+            all_heights = dict(my_heights)
+            for message in neighbor_first.values():
+                for index, height in message.stack_heights:
+                    if all_heights.setdefault(index, height) != height:
+                        return _REJECT
+            for index in structure.copies:
+                opens = sum(1 for other in structure.chord_neighbors[index] if other > index)
+                closes = sum(1 for other in structure.chord_neighbors[index] if other < index)
+                if index == 1:
+                    previous_height = 0
+                else:
+                    if index - 1 not in all_heights:
+                        return _REJECT
+                    previous_height = all_heights[index - 1]
+                expected = previous_height - closes + opens
+                if expected < 0 or my_heights[index] != expected:
+                    return _REJECT
+                if index == n_path and my_heights[index] != 0:
+                    return _REJECT
+
+            # my fingerprint events: re-derive each incident chord's push/pop
+            # height from the committed heights of the preceding position and
+            # the local tie-breaking orders (pops innermost-first, pushes
+            # outermost-first); the encodings are challenge-independent, the
+            # factors ``prod (z - event)`` are formed at challenge time
+            push_events: list[int] = []
+            pop_events: list[int] = []
+            for index in structure.copies:
+                height_before = 0 if index == 1 else all_heights[index - 1]
+                closers = sorted((other for other in structure.chord_neighbors[index]
+                                  if other < index), reverse=True)
+                openers = sorted((other for other in structure.chord_neighbors[index]
+                                  if other > index), reverse=True)
+                running = height_before
+                for other in closers:
+                    pop_events.append(_encode_chord_event(other, index, running, n_path))
+                    running -= 1
+                for other in openers:
+                    running += 1
+                    push_events.append(_encode_chord_event(index, other, running, n_path))
+        except (TypeError, ValueError):
+            return _REJECT
+
+        child_ids = tuple(
+            nid for nid in first_view.neighbor_ids
+            if neighbor_first[nid].structure.spanning_tree.parent_id == first_view.center_id)
+        return _PreparedVerifier(
+            is_root=structure.is_root,
+            compares_global=first.structure.spanning_tree.parent_id is None,
+            child_ids=child_ids,
+            push_events=tuple(push_events),
+            pop_events=tuple(pop_events),
+        )
+
+    def verify_with_state(self, state: Any, view: LocalView, challenge: int,
+                          neighbor_challenges: dict[int, int]) -> bool:
+        """Challenge-dependent half: coin consistency and fingerprint products."""
+        if state is _REJECT:
+            return False
+        pair = view.certificate
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            return False
+        second = pair[1]
+        if not isinstance(second, DMAMSecondMessage):
+            return False
+        if state is _SINGLE_NODE:
+            return True
+
         neighbor_second: dict[int, DMAMSecondMessage] = {}
         for nid in view.neighbor_ids:
             cert = view.certificates.get(nid)
-            if not isinstance(cert, tuple) or len(cert) != 2:
+            if not isinstance(cert, tuple) or len(cert) != 2 \
+                    or not isinstance(cert[1], DMAMSecondMessage):
                 return False
-            if not isinstance(cert[0], DMAMFirstMessage) or not isinstance(cert[1], DMAMSecondMessage):
-                return False
-            neighbor_first[nid], neighbor_second[nid] = cert
+            neighbor_second[nid] = cert[1]
 
         # the relayed global coin must be locally consistent, and correct at the root
         z = second.global_point
         if any(neighbor.global_point != z for neighbor in neighbor_second.values()):
             return False
-        if structure.is_root and z != challenge % FIELD_PRIME:
+        if state.is_root and z != challenge % FIELD_PRIME:
             return False
 
-        # stack heights: committed per copy, consistent with my chord events and
-        # with the heights claimed for the neighboring copies
-        my_heights = dict(first.stack_heights)
-        if set(my_heights) != set(structure.copies):
-            return False
-        all_heights = dict(my_heights)
-        for message in neighbor_first.values():
-            for index, height in message.stack_heights:
-                if all_heights.setdefault(index, height) != height:
-                    return False
-        for index in structure.copies:
-            opens = sum(1 for other in structure.chord_neighbors[index] if other > index)
-            closes = sum(1 for other in structure.chord_neighbors[index] if other < index)
-            if index == 1:
-                previous_height = 0
-            else:
-                if index - 1 not in all_heights:
-                    return False
-                previous_height = all_heights[index - 1]
-            expected = previous_height - closes + opens
-            if expected < 0 or my_heights[index] != expected:
-                return False
-            if index == n_path and my_heights[index] != 0:
-                return False
-
-        # my fingerprint factors: re-derive each incident chord's push/pop height
-        # from the committed heights of the preceding position and the local
-        # tie-breaking orders (pops innermost-first, pushes outermost-first)
         push_factor = 1
+        for event in state.push_events:
+            push_factor = (push_factor * (z - event)) % FIELD_PRIME
         pop_factor = 1
-        for index in structure.copies:
-            height_before = 0 if index == 1 else all_heights[index - 1]
-            closers = sorted((other for other in structure.chord_neighbors[index]
-                              if other < index), reverse=True)
-            openers = sorted((other for other in structure.chord_neighbors[index]
-                              if other > index), reverse=True)
-            running = height_before
-            for other in closers:
-                pop_factor = (pop_factor
-                              * (z - _encode_chord_event(other, index, running,
-                                                         n_path))) % FIELD_PRIME
-                running -= 1
-            for other in openers:
-                running += 1
-                push_factor = (push_factor
-                               * (z - _encode_chord_event(index, other, running,
-                                                          n_path))) % FIELD_PRIME
+        for event in state.pop_events:
+            pop_factor = (pop_factor * (z - event)) % FIELD_PRIME
 
         # subtree products: mine must equal my factor times my children's products
-        parent_id = first.structure.spanning_tree.parent_id
-        child_ids = [nid for nid in view.neighbor_ids
-                     if neighbor_first[nid].structure.spanning_tree.parent_id == view.center_id]
         expected_push = push_factor
         expected_pop = pop_factor
-        for child_id in child_ids:
+        for child_id in state.child_ids:
             expected_push = (expected_push
                              * neighbor_second[child_id].push_product_subtree) % FIELD_PRIME
             expected_pop = (expected_pop
@@ -377,8 +446,52 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
             return False
         if second.pop_product_subtree != expected_pop:
             return False
-        if parent_id is None:
+        if state.compares_global:
             # the root compares the two global fingerprints
             if second.push_product_subtree != second.pop_product_subtree:
                 return False
         return True
+
+
+#: sentinel states of :meth:`PlanarityDMAMProtocol.prepare_verifier` — the
+#: first turn already forces the decision, whatever the challenge turns out
+#: to be (modulo the second message being well-typed)
+_REJECT = object()
+_SINGLE_NODE = object()
+
+
+@dataclass(frozen=True)
+class _PreparedVerifier:
+    """Challenge-independent verifier state of one node (first turn only)."""
+
+    is_root: bool
+    #: this node's certificate claims no parent, so it compares the two
+    #: global fingerprints (matches ``is_root`` on honest assignments)
+    compares_global: bool
+    child_ids: tuple[int, ...]
+    #: pre-encoded chord events; the fingerprint factors are
+    #: ``prod (z - event) mod FIELD_PRIME`` over these
+    push_events: tuple[int, ...]
+    pop_events: tuple[int, ...]
+
+
+def _first_components_view(view: LocalView) -> LocalView:
+    """Project a final-round view (certificates are pairs) onto turn 1.
+
+    Ill-formed pairs project to ``None`` — exactly the treatment the
+    monolithic verifier gave them.  The ball graph is shared with the input
+    view (read-only, as the view contract requires).
+    """
+    def first_of(cert: Any) -> Any:
+        if isinstance(cert, tuple) and len(cert) == 2:
+            return cert[0]
+        return None
+
+    return LocalView(
+        center_id=view.center_id,
+        certificate=first_of(view.certificate),
+        neighbor_ids=view.neighbor_ids,
+        certificates={nid: first_of(cert) for nid, cert in view.certificates.items()},
+        ball=view.ball,
+        radius=view.radius,
+    )

@@ -10,13 +10,21 @@ from repro.distributed.verifier import (
     run_verification,
 )
 from repro.distributed.congest import SynchronousSimulator
-from repro.distributed.engine import BACKENDS, NodeStructure, SimulationEngine, derive_seed
+from repro.distributed.engine import (
+    BACKENDS,
+    InteractiveSoundnessEstimate,
+    NodeStructure,
+    SimulationEngine,
+    derive_seed,
+)
 from repro.distributed.registry import RegistryEntry, SchemeRegistry, default_registry
 from repro.distributed.interactive import (
+    FirstTurn,
     InteractiveProtocol,
     InteractiveTranscript,
     run_interactive_protocol,
 )
+from repro.distributed.views import assemble_view, materialize_structures
 from repro.distributed.adversary import (
     AttackResult,
     exhaustive_attack,
@@ -45,9 +53,13 @@ __all__ = [
     "SchemeRegistry",
     "RegistryEntry",
     "default_registry",
+    "FirstTurn",
     "InteractiveProtocol",
+    "InteractiveSoundnessEstimate",
     "InteractiveTranscript",
     "run_interactive_protocol",
+    "assemble_view",
+    "materialize_structures",
     "AttackResult",
     "exhaustive_attack",
     "random_certificate_attack",

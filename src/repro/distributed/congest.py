@@ -7,6 +7,26 @@ round each node reads the messages delivered in the previous round, updates
 its state, and emits at most one message per incident edge.  The engine
 records the size in bits of every message so experiments can report the
 maximum per-edge load, which is the CONGEST complexity measure.
+
+Like the verification runtimes, the simulator executes on the network's
+compiled :class:`~repro.graphs.indexed.IndexedGraph`: processes live in a
+flat list keyed by contiguous node index, and each node carries a CSR-built
+delivery table mapping its neighbors' *identifiers* to their indices.  Both
+the legality check (messages may only target neighbors) and delivery are one
+dictionary probe against that per-node table — no per-round
+:meth:`~repro.distributed.network.Network.node_of` lookups, no per-round
+rebuild of a node-keyed pending map.  The public surface (``processes``,
+``run``, ``outputs``, round statistics) is unchanged from the per-node
+implementation, and the execution order is identical: node order is the
+network's node order either way.
+
+Halted-node semantics (asserted by ``tests/test_distributed.py``): a halted
+node stops acting — it is skipped in every later round and its inbox is
+discarded — but it remains addressable.  Messages sent *to* a halted node
+are legal, are delivered, and are counted in the round statistics exactly
+like any other message; the halted node simply never reads them.  This
+mirrors the standard synchronous model, where a terminated process cannot
+refuse traffic still in flight.
 """
 
 from __future__ import annotations
@@ -17,7 +37,7 @@ from typing import Any
 
 from repro.distributed.certificates import encoded_size_bits
 from repro.distributed.network import Network
-from repro.exceptions import ProtocolError
+from repro.exceptions import CertificateError, ProtocolError
 from repro.graphs.graph import Node
 
 __all__ = ["NodeProcess", "RoundResult", "SynchronousSimulator"]
@@ -61,51 +81,89 @@ class SynchronousSimulator:
 
     def __init__(self, network: Network) -> None:
         self.network = network
+        indexed = network.graph.indexed()
+        ids = [network.id_of(label) for label in indexed.labels]
+        self._processes: list[NodeProcess] = []
+        # per node: neighbor identifier -> neighbor index (CSR adjacency
+        # block translated once; serves both the legality check and delivery)
+        self._delivery: list[dict[int, int]] = []
+        for i, node in enumerate(indexed.labels):
+            table = {ids[j]: j for j in indexed.neighbors_of(i)}
+            self._processes.append(NodeProcess(
+                node=node, identifier=ids[i], neighbor_ids=sorted(table)))
+            self._delivery.append(table)
+        #: public view of the processes, keyed by node (network node order)
         self.processes: dict[Node, NodeProcess] = {
-            node: NodeProcess(node=node,
-                              identifier=network.id_of(node),
-                              neighbor_ids=network.neighbor_ids(node))
-            for node in network.nodes()
-        }
+            process.node: process for process in self._processes}
         self.round_results: list[RoundResult] = []
-        self._pending: dict[Node, dict[int, Any]] = {node: {} for node in network.nodes()}
+        self._inboxes: list[dict[int, Any]] = [{} for _ in self._processes]
+        # memoised message sizes: most algorithms send the same few payloads
+        # every round (flags, counters, the node's current estimate), and the
+        # bit-exact encoder dominates the round loop without this.  Only
+        # exact ``int`` and ``str`` payloads are memoised — the only classes
+        # where dict-key equality provably implies equal encoded size.
+        # ``True == 1`` (and ``(True,) == (1,)`` inside containers) while
+        # encoding to different widths, so bools, containers, and arbitrary
+        # ``Encodable`` payloads are priced per message instead of cached.
+        self._int_sizes: dict[int, int] = {}
+        self._str_sizes: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, algorithm: NodeAlgorithm, max_rounds: int = 1000) -> list[RoundResult]:
         """Run ``algorithm`` at every node until all halt or ``max_rounds`` is hit."""
         for round_index in range(max_rounds):
-            if all(process.halted for process in self.processes.values()):
+            if all(process.halted for process in self._processes):
                 break
             self._run_round(algorithm, round_index)
         else:
-            if not all(process.halted for process in self.processes.values()):
+            if not all(process.halted for process in self._processes):
                 raise ProtocolError(f"simulation did not terminate within {max_rounds} rounds")
         return self.round_results
 
     def _run_round(self, algorithm: NodeAlgorithm, round_index: int) -> None:
-        outboxes: dict[Node, dict[int, Any]] = {}
-        for node, process in self.processes.items():
+        # emit: run every live node, translating target identifiers to node
+        # indices through the per-node delivery table as the legality check
+        outboxes: list[tuple[int, list[tuple[int, Any]]]] = []
+        for i, process in enumerate(self._processes):
             if process.halted:
                 continue
-            inbox = self._pending[node]
-            outbox = algorithm(process, inbox) or {}
-            allowed = set(process.neighbor_ids)
-            for target in outbox:
-                if target not in allowed:
-                    raise ProtocolError(
-                        f"node {process.identifier} attempted to message non-neighbor {target}")
-            outboxes[node] = outbox
-        # deliver
-        self._pending = {node: {} for node in self.network.nodes()}
-        sizes: list[int] = []
-        count = 0
-        for node, outbox in outboxes.items():
-            sender_id = self.processes[node].identifier
+            outbox = algorithm(process, self._inboxes[i]) or {}
+            table = self._delivery[i]
+            entries: list[tuple[int, Any]] = []
             for target_id, message in outbox.items():
-                target_node = self.network.node_of(target_id)
-                self._pending[target_node][sender_id] = message
-                sizes.append(_message_bits(message))
+                j = table.get(target_id)
+                if j is None:
+                    raise ProtocolError(
+                        f"node {process.identifier} attempted to message non-neighbor {target_id}")
+                entries.append((j, message))
+            if entries:
+                outboxes.append((process.identifier, entries))
+        # deliver
+        inboxes: list[dict[int, Any]] = [{} for _ in self._processes]
+        int_sizes = self._int_sizes
+        str_sizes = self._str_sizes
+        sizes: list[int] = []
+        append_size = sizes.append
+        count = 0
+        for sender_id, entries in outboxes:
+            for j, message in entries:
+                inboxes[j][sender_id] = message
+                kind = type(message)
+                if kind is int:
+                    try:
+                        size = int_sizes[message]
+                    except KeyError:
+                        size = int_sizes[message] = _message_bits(message)
+                elif kind is str:
+                    try:
+                        size = str_sizes[message]
+                    except KeyError:
+                        size = str_sizes[message] = _message_bits(message)
+                else:
+                    size = _message_bits(message)
+                append_size(size)
                 count += 1
+        self._inboxes = inboxes
         self.round_results.append(RoundResult(
             round_index=round_index,
             messages_sent=count,
@@ -126,16 +184,25 @@ class SynchronousSimulator:
 
     def outputs(self) -> dict[Node, Any]:
         """Return the final output of every node."""
-        return {node: process.output for node, process in self.processes.items()}
+        return {process.node: process.output for process in self._processes}
 
 
 def _message_bits(message: Any) -> int:
-    """Best-effort size accounting for ad-hoc message payloads."""
+    """Best-effort size accounting for ad-hoc message payloads.
+
+    Payloads the bit-exact encoder understands (``Encodable``, ``None``,
+    ``bool``, ``int``) are priced by :func:`encoded_size_bits`; containers
+    and strings fall back to recursive / UTF-8 accounting.  Only the
+    encoder's own :class:`~repro.exceptions.CertificateError` triggers the
+    fallback — a genuine bug inside an ``Encodable.encode`` implementation
+    (``TypeError``, ``AttributeError``, ...) propagates instead of being
+    silently re-priced.
+    """
     if message is None or isinstance(message, (bool, int)):
         return encoded_size_bits(message)
     try:
         return encoded_size_bits(message)
-    except Exception:
+    except CertificateError:
         if isinstance(message, (tuple, list)):
             return sum(_message_bits(item) for item in message)
         if isinstance(message, dict):

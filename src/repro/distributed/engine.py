@@ -29,6 +29,15 @@ certificate assignment out of the per-trial loop:
   soundness attacks) can be distributed over a process pool with
   :meth:`run_trials`, with per-trial seeds derived deterministically from the
   engine seed;
+* **interactive runtime** — dMA/dMAM protocols execute on the same cached
+  view structures: :meth:`run_interactive` reproduces
+  :func:`~repro.distributed.interactive.run_interactive_protocol`
+  field-for-field under the same seed, Merlin first turns are cached per
+  ``(network, protocol)`` as explicit
+  :class:`~repro.distributed.interactive.FirstTurn` artifacts, and
+  :meth:`estimate_soundness_error` replays many challenge draws through the
+  decision-only :meth:`count_accepting_interactive` with the protocol's
+  challenge-independent verifier states computed once;
 * **vectorized backend** — schemes that registered a
   :class:`~repro.vectorized.kernels.VectorizedKernel` (see
   :mod:`repro.vectorized`) can be verified with array kernels over the
@@ -60,12 +69,19 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Any
 
+from repro.distributed.interactive import (
+    FirstTurn,
+    InteractiveProtocol,
+    InteractiveTranscript,
+)
 from repro.distributed.network import LocalView, Network
 from repro.distributed.scheme import ProofLabelingScheme
 from repro.distributed.verifier import VerificationResult, certificate_statistics
+from repro.distributed.views import NodeStructure, assemble_view, materialize_structures
 from repro.graphs.graph import Graph, Node
 
-__all__ = ["SimulationEngine", "NodeStructure", "derive_seed", "BACKENDS"]
+__all__ = ["SimulationEngine", "NodeStructure", "InteractiveSoundnessEstimate",
+           "derive_seed", "BACKENDS"]
 
 #: verification backends selectable on the engine (and per call)
 BACKENDS = ("reference", "vectorized")
@@ -79,15 +95,43 @@ def derive_seed(seed: int | None, index: int) -> int | None:
 
 
 @dataclass(frozen=True)
-class NodeStructure:
-    """The certificate-independent part of one node's :class:`LocalView`."""
+class InteractiveSoundnessEstimate:
+    """Acceptance statistics of an interactive protocol over many challenge draws.
 
-    node: Node
-    center_id: int
-    neighbor_ids: list[int]
-    visible_nodes: list[Node]
-    visible_ids: list[int]
-    ball: Graph
+    One entry of ``accepting_counts`` per draw: the number of nodes whose
+    final verification accepted.  For a dishonest prover on a no-instance,
+    :attr:`error_rate` estimates the protocol's soundness error
+    (the probability that *every* node accepts); for the honest prover on a
+    yes-instance it estimates completeness (and must be ``1.0``).
+    """
+
+    protocol_name: str
+    trials: int
+    total_nodes: int
+    accepting_counts: tuple[int, ...]
+
+    @property
+    def all_accept_count(self) -> int:
+        """Number of draws on which every node accepted."""
+        return sum(1 for count in self.accepting_counts
+                   if count == self.total_nodes)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of draws on which the prover convinced every node."""
+        return self.all_accept_count / self.trials if self.trials else 0.0
+
+    @property
+    def max_accepting(self) -> int:
+        """Largest per-draw accepting-node count."""
+        return max(self.accepting_counts, default=0)
+
+    @property
+    def mean_accepting(self) -> float:
+        """Mean per-draw accepting-node count."""
+        if not self.accepting_counts:
+            return 0.0
+        return sum(self.accepting_counts) / len(self.accepting_counts)
 
 
 class SimulationEngine:
@@ -143,6 +187,9 @@ class SimulationEngine:
         # encoded certificate sizes of honest assignments:
         # id(network) -> {id(certificates): sizes}
         self._stats_cache: dict[int, dict[int, dict[Node, int]]] = {}
+        # honest Merlin first turns per network: id(network) -> {id(protocol): FirstTurn}
+        # (keyed by protocol identity for the same reason as the prover cache)
+        self._first_turns: dict[int, dict[int, FirstTurn]] = {}
         # compiled VectorContext (or None for refused networks) per network:
         # id(network) -> VectorContext | None
         self._vector_contexts: dict[int, Any] = {}
@@ -174,6 +221,7 @@ class SimulationEngine:
         self._structures.pop(key, None)
         self._prover_cache.pop(key, None)
         self._stats_cache.pop(key, None)
+        self._first_turns.pop(key, None)
         self._vector_contexts.pop(key, None)
         if not keep_tracking:
             self._versions.pop(key, None)
@@ -254,40 +302,10 @@ class SimulationEngine:
             per_radius[radius] = cached
         return cached
 
-    def _materialize(self, network: Network, radius: int) -> list[NodeStructure]:
-        indexed = network.graph.indexed()
-        labels = indexed.labels
-        ids = [network.id_of(label) for label in labels]
-        structures: list[NodeStructure] = []
-        if radius == 1:
-            for i, node in enumerate(labels):
-                center_id = ids[i]
-                neighbor_ids = sorted(ids[j] for j in indexed.neighbors_of(i))
-                # star ball, laid out exactly like Network.local_view builds it
-                ball = Graph()
-                ball._adj[center_id] = set(neighbor_ids)
-                for neighbor_id in neighbor_ids:
-                    ball._adj[neighbor_id] = {center_id}
-                visible = [node, *(network.node_of(nid) for nid in neighbor_ids)]
-                structures.append(NodeStructure(
-                    node=node, center_id=center_id, neighbor_ids=neighbor_ids,
-                    visible_nodes=visible,
-                    visible_ids=[center_id, *neighbor_ids], ball=ball))
-        else:
-            # delegate to the reference implementation so the deliberate
-            # t-round view approximation documented there stays the single
-            # source of truth; only the certificate-independent fields are
-            # kept (an empty assignment leaves view.certificates keyed by
-            # exactly the visible identifiers, in visible order)
-            for node in labels:
-                view = network.local_view(node, {}, radius=radius)
-                visible_ids = list(view.certificates)
-                structures.append(NodeStructure(
-                    node=node, center_id=view.center_id,
-                    neighbor_ids=view.neighbor_ids,
-                    visible_nodes=[network.node_of(i) for i in visible_ids],
-                    visible_ids=visible_ids, ball=view.ball))
-        return structures
+    # the batched materialisation/assembly primitives live in the shared
+    # view layer (repro.distributed.views); the engine layers caching on top
+    _materialize = staticmethod(materialize_structures)
+    _view = staticmethod(assemble_view)
 
     # ------------------------------------------------------------------
     # batched verification
@@ -295,29 +313,8 @@ class SimulationEngine:
     def views(self, network: Network, certificates: dict[Node, Any],
               radius: int = 1) -> dict[Node, LocalView]:
         """Materialise every node's :class:`LocalView` in one batched pass."""
-        return {s.node: self._view(s, certificates, radius)
+        return {s.node: assemble_view(s, certificates, radius)
                 for s in self.structures(network, radius)}
-
-    @staticmethod
-    def _view(structure: NodeStructure, certificates: dict[Node, Any],
-              radius: int) -> LocalView:
-        """Assemble a :class:`LocalView` from cached structure plus certificates.
-
-        ``neighbor_ids`` is copied per view (cheap, and a verifier sorting it
-        in place must not corrupt the cache); the ball graph is shared across
-        every view built from this structure — verifiers must treat it as
-        read-only, which every scheme in the library does.
-        """
-        get = certificates.get
-        return LocalView(
-            center_id=structure.center_id,
-            certificate=get(structure.node),
-            neighbor_ids=list(structure.neighbor_ids),
-            certificates={vid: get(v) for vid, v in
-                          zip(structure.visible_ids, structure.visible_nodes)},
-            ball=structure.ball,
-            radius=radius,
-        )
 
     def verify(self, scheme: ProofLabelingScheme, network: Network,
                certificates: dict[Node, Any],
@@ -457,17 +454,19 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # prover artifacts
     # ------------------------------------------------------------------
-    def certify(self, scheme: ProofLabelingScheme, network: Network,
-                cache: bool = True) -> dict[Node, Any]:
-        """Run the honest prover, caching the assignment per (network, scheme)."""
-        if not cache:
-            return scheme.prove(network)
-        key = self._network_key(network)
-        scheme_key = id(scheme)
-        if scheme_key not in self._finalizers:
-            def _evict(_ref: weakref.ref, scheme_key: int = scheme_key) -> None:
-                for net_key, per_scheme in self._prover_cache.items():
-                    certificates = per_scheme.pop(scheme_key, None)
+    def _track_owner(self, owner: Any) -> int:
+        """Track a scheme or protocol whose artifacts the engine caches.
+
+        Returns ``id(owner)`` after registering a weakref finalizer that
+        evicts the owner's cached prover artifacts (and their size stats)
+        and first-turn artifacts across every network when the owner is
+        garbage-collected.
+        """
+        owner_key = id(owner)
+        if owner_key not in self._finalizers:
+            def _evict(_ref: weakref.ref, owner_key: int = owner_key) -> None:
+                for net_key, per_owner in self._prover_cache.items():
+                    certificates = per_owner.pop(owner_key, None)
                     if certificates is not None:
                         # drop the size stats keyed by the freed dict's id as
                         # well, or a later allocation at the recycled address
@@ -475,8 +474,19 @@ class SimulationEngine:
                         per_certs = self._stats_cache.get(net_key)
                         if per_certs is not None:
                             per_certs.pop(id(certificates), None)
-                self._finalizers.pop(scheme_key, None)
-            self._finalizers[scheme_key] = weakref.ref(scheme, _evict)
+                for per_owner in self._first_turns.values():
+                    per_owner.pop(owner_key, None)
+                self._finalizers.pop(owner_key, None)
+            self._finalizers[owner_key] = weakref.ref(owner, _evict)
+        return owner_key
+
+    def certify(self, scheme: ProofLabelingScheme, network: Network,
+                cache: bool = True) -> dict[Node, Any]:
+        """Run the honest prover, caching the assignment per (network, scheme)."""
+        if not cache:
+            return scheme.prove(network)
+        key = self._network_key(network)
+        scheme_key = self._track_owner(scheme)
         per_scheme = self._prover_cache.setdefault(key, {})
         certificates = per_scheme.get(scheme_key)
         if certificates is None:
@@ -491,6 +501,177 @@ class SimulationEngine:
         network = self.network_for(graph, seed=seed, ids=ids)
         certificates = self.certify(scheme, network)
         return self.verify(scheme, network, certificates)
+
+    # ------------------------------------------------------------------
+    # interactive protocols (dMA / dMAM)
+    # ------------------------------------------------------------------
+    def first_turn(self, protocol: InteractiveProtocol, network: Network,
+                   cache: bool = True) -> FirstTurn:
+        """Run Merlin's first turn, caching the artifact per (network, protocol).
+
+        The cached :class:`~repro.distributed.interactive.FirstTurn` carries
+        the protocol's private prover state (e.g. the dMAM decomposition)
+        explicitly, so it stays replayable even when the same protocol
+        instance is interleaved across networks.
+        """
+        if not cache:
+            return protocol.first_turn(network)
+        key = self._network_key(network)
+        protocol_key = self._track_owner(protocol)
+        per_protocol = self._first_turns.setdefault(key, {})
+        turn = per_protocol.get(protocol_key)
+        if turn is None:
+            turn = protocol.first_turn(network)
+            per_protocol[protocol_key] = turn
+        return turn
+
+    def run_interactive(self, protocol: InteractiveProtocol, network: Network,
+                        seed: int | None = None,
+                        dishonest_second: dict[Node, Any] | None = None,
+                        dishonest_first: dict[Node, Any] | None = None,
+                        ) -> InteractiveTranscript:
+        """Batched equivalent of :func:`~repro.distributed.interactive.run_interactive_protocol`.
+
+        The transcript is field-for-field identical to the reference runner's
+        under the same ``seed`` (asserted by ``tests/test_engine.py``); the
+        difference is cost: Merlin's first turn is served from the
+        per-(network, protocol) cache and the final verification round runs
+        on the engine's cached view structures instead of rebuilding every
+        node's :meth:`~repro.distributed.network.Network.local_view`.
+        """
+        rng = random.Random(seed)
+        turn = None
+        if dishonest_first is not None:
+            first = dishonest_first
+        else:
+            turn = self.first_turn(protocol, network)
+            # copy: the transcript belongs to the caller (mutating an honest
+            # transcript into a dishonest variant is the natural idiom) and
+            # must not alias the per-(network, protocol) first-turn cache
+            first = dict(turn.messages)
+        challenges = protocol.draw_challenges(network, rng)
+        if dishonest_second is not None:
+            second = dishonest_second
+        elif turn is not None:
+            second = protocol.second_turn(network, turn, challenges)
+        else:
+            # dishonest first, honest-shaped second: mirror the reference
+            # runner (merlin_second over the raw messages)
+            second = protocol.merlin_second(network, first, challenges)
+        decisions = self._interactive_decisions(protocol, network, first,
+                                                second, challenges)
+        return InteractiveTranscript(
+            protocol_name=protocol.name,
+            interactions=protocol.interactions,
+            first_certificates=first,
+            challenges=challenges,
+            second_certificates=second,
+            decisions=decisions,
+        )
+
+    def _interactive_decisions(self, protocol: InteractiveProtocol,
+                               network: Network, first: dict[Node, Any],
+                               second: dict[Node, Any],
+                               challenges: dict[Node, int],
+                               prepared: Sequence[Any] | None = None,
+                               ) -> dict[Node, bool]:
+        """Final verification round on cached structures (radius 1).
+
+        With ``prepared`` (see :meth:`interactive_prepared`) each node's
+        challenge-independent verifier state is reused and only the
+        challenge-dependent half runs.
+        """
+        paired = {node: (first.get(node), second.get(node))
+                  for node in network.nodes()}
+        structures = self.structures(network, 1)
+        decisions: dict[Node, bool] = {}
+        if prepared is None:
+            verify = protocol.verify
+            for s in structures:
+                view = assemble_view(s, paired, 1)
+                neighbor_challenges = {vid: challenges[v] for vid, v in
+                                       zip(s.visible_ids[1:], s.visible_nodes[1:])}
+                decisions[s.node] = bool(verify(view, challenges[s.node],
+                                                neighbor_challenges))
+        else:
+            finish = protocol.verify_with_state
+            for s, state in zip(structures, prepared):
+                view = assemble_view(s, paired, 1)
+                neighbor_challenges = {vid: challenges[v] for vid, v in
+                                       zip(s.visible_ids[1:], s.visible_nodes[1:])}
+                decisions[s.node] = bool(finish(state, view, challenges[s.node],
+                                                neighbor_challenges))
+        return decisions
+
+    def interactive_prepared(self, protocol: InteractiveProtocol,
+                             network: Network,
+                             first: dict[Node, Any]) -> list[Any]:
+        """Challenge-independent verifier states for a fixed first turn.
+
+        One state per node (network node order), computed from views that
+        carry only the turn-1 messages; feed the list back into
+        :meth:`count_accepting_interactive` to amortise the deterministic
+        structural checks over many challenge draws.
+        """
+        structures = self.structures(network, 1)
+        prepare = protocol.prepare_verifier
+        return [prepare(assemble_view(s, first, 1)) for s in structures]
+
+    def count_accepting_interactive(self, protocol: InteractiveProtocol,
+                                    network: Network, first: dict[Node, Any],
+                                    second: dict[Node, Any],
+                                    challenges: dict[Node, int],
+                                    prepared: Sequence[Any] | None = None) -> int:
+        """Decision-only interactive round: how many nodes accept.
+
+        The interactive analogue of :meth:`count_accepting` — soundness
+        estimation only ranks challenge draws by the number of convinced
+        nodes, so the transcript bundling of :meth:`run_interactive` would be
+        pure overhead here.
+        """
+        return sum(self._interactive_decisions(protocol, network, first,
+                                               second, challenges,
+                                               prepared=prepared).values())
+
+    def estimate_soundness_error(self, protocol: InteractiveProtocol,
+                                 network: Network, trials: int,
+                                 seed: int | None = None,
+                                 first: dict[Node, Any] | None = None,
+                                 second_strategy: Callable[..., dict[Node, Any]] | None = None,
+                                 ) -> InteractiveSoundnessEstimate:
+        """Acceptance statistics of ``protocol`` over ``trials`` challenge draws.
+
+        Draw ``index`` uses challenges from
+        ``random.Random(derive_seed(seed, index))`` (``seed`` defaults to the
+        engine seed), so draw ``index`` reproduces
+        :func:`run_interactive_protocol` under that derived seed exactly.
+
+        ``first`` fixes Merlin's first message (a dishonest prover in a
+        soundness experiment); ``None`` plays the honest cached first turn.
+        ``second_strategy(network, first, challenges)`` produces the second
+        message per draw; ``None`` plays honest Merlin.  Trials are fanned
+        out through :meth:`run_trials` when ``workers > 1`` (each worker
+        process rebuilds its own engine, so the protocol, network, and
+        ``second_strategy`` must then be picklable).
+        """
+        root_seed = self.seed if seed is None else seed
+        if self.workers > 1 and trials > 1:
+            bounds = [(trials * w // self.workers, trials * (w + 1) // self.workers)
+                      for w in range(self.workers)]
+            specs = [(protocol, network, first, second_strategy, root_seed,
+                      start, stop) for start, stop in bounds if stop > start]
+            counts: list[int] = []
+            for chunk in self.run_trials(_estimate_chunk, specs):
+                counts.extend(chunk)
+        else:
+            counts = _estimate_counts(self, protocol, network, first,
+                                      second_strategy, root_seed, 0, trials)
+        return InteractiveSoundnessEstimate(
+            protocol_name=protocol.name,
+            trials=trials,
+            total_nodes=network.size,
+            accepting_counts=tuple(counts),
+        )
 
     # ------------------------------------------------------------------
     # trial fan-out
@@ -518,3 +699,45 @@ class SimulationEngine:
     def rng(self, index: int = 0) -> random.Random:
         """Return a :class:`random.Random` seeded for trial ``index``."""
         return random.Random(self.trial_seed(index))
+
+
+def _estimate_counts(engine: SimulationEngine, protocol: InteractiveProtocol,
+                     network: Network, first: dict[Node, Any] | None,
+                     second_strategy: Callable[..., dict[Node, Any]] | None,
+                     root_seed: int | None, start: int, stop: int) -> list[int]:
+    """Accepting-node counts for draws ``start .. stop - 1`` (one engine).
+
+    The challenge-independent work — the first turn, the view structures,
+    the per-node prepared verifier states — is done once; each draw then
+    costs one challenge vector, one second turn, and the challenge-dependent
+    half of the verification round.
+    """
+    turn = None
+    if first is None:
+        turn = engine.first_turn(protocol, network)
+        first = turn.messages
+    prepared = engine.interactive_prepared(protocol, network, first)
+    counts: list[int] = []
+    for index in range(start, stop):
+        rng = random.Random(derive_seed(root_seed, index))
+        challenges = protocol.draw_challenges(network, rng)
+        if second_strategy is not None:
+            second = second_strategy(network, first, challenges)
+        elif turn is not None:
+            second = protocol.second_turn(network, turn, challenges)
+        else:
+            second = protocol.merlin_second(network, first, challenges)
+        counts.append(engine.count_accepting_interactive(
+            protocol, network, first, second, challenges, prepared=prepared))
+    return counts
+
+
+def _estimate_chunk(spec: tuple) -> list[int]:
+    """Process-pool worker for :meth:`SimulationEngine.estimate_soundness_error`.
+
+    Each worker process rebuilds its own engine (the established
+    :meth:`run_trials` pattern), so the spec must be picklable.
+    """
+    protocol, network, first, second_strategy, root_seed, start, stop = spec
+    return _estimate_counts(SimulationEngine(), protocol, network, first,
+                            second_strategy, root_seed, start, stop)

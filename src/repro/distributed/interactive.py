@@ -23,7 +23,26 @@ from repro.distributed.certificates import encoded_size_bits
 from repro.distributed.network import LocalView, Network
 from repro.graphs.graph import Graph, Node
 
-__all__ = ["InteractiveProtocol", "InteractiveTranscript", "run_interactive_protocol"]
+__all__ = ["FirstTurn", "InteractiveProtocol", "InteractiveTranscript",
+           "run_interactive_protocol"]
+
+
+@dataclass(frozen=True)
+class FirstTurn:
+    """Merlin's first turn as an explicit, cacheable artifact.
+
+    ``messages`` is the per-node certificate assignment of turn 1; ``state``
+    is whatever private prover context the protocol needs again in turn 3
+    (the dMAM planarity protocol keeps its cut-open decomposition here).
+    Making the state explicit — instead of stashing it on the protocol
+    instance between calls — is what lets the
+    :class:`~repro.distributed.engine.SimulationEngine` cache one first turn
+    per ``(network, protocol)`` and replay it against many challenge draws,
+    even when the same protocol instance is interleaved across networks.
+    """
+
+    messages: dict[Node, Any]
+    state: Any = None
 
 
 @dataclass
@@ -87,7 +106,53 @@ class InteractiveProtocol(ABC):
         ``(first, second)`` of Merlin messages; the node also sees its own
         challenge and the challenges of its neighbors (they were broadcast
         during the Arthur turn).
+
+        Views may be assembled from the batched view layer
+        (:mod:`repro.distributed.views`), which shares the ball graph across
+        executions — verifiers must treat the view as **read-only**.
         """
+
+    # ------------------------------------------------------------------
+    # explicit-state turns (overridable; defaults wrap the abstract API)
+    # ------------------------------------------------------------------
+    def first_turn(self, network: Network) -> FirstTurn:
+        """Merlin's first turn as a :class:`FirstTurn` artifact.
+
+        Protocols whose second turn needs prover context computed during the
+        first turn should override this (and :meth:`second_turn`) to thread
+        that context through ``FirstTurn.state`` explicitly; the default
+        wraps :meth:`merlin_first` with no state.
+        """
+        return FirstTurn(messages=self.merlin_first(network))
+
+    def second_turn(self, network: Network, turn: FirstTurn,
+                    challenges: dict[Node, int]) -> dict[Node, Any]:
+        """Merlin's second turn, given the explicit first-turn artifact."""
+        return self.merlin_second(network, turn.messages, challenges)
+
+    # ------------------------------------------------------------------
+    # split verification (overridable; defaults fall back to verify())
+    # ------------------------------------------------------------------
+    def prepare_verifier(self, first_view: LocalView) -> Any:
+        """Challenge-independent precomputation for one node's verifier.
+
+        ``first_view`` contains only the turn-1 messages (not the
+        ``(first, second)`` pairs of the final round).  Protocols whose
+        verifier runs deterministic structural checks on the first message
+        can do them once here and reuse the returned state across many
+        challenge draws via :meth:`verify_with_state`; the default returns
+        ``None`` (no precomputation available).
+        """
+        return None
+
+    def verify_with_state(self, state: Any, view: LocalView, challenge: int,
+                          neighbor_challenges: dict[int, int]) -> bool:
+        """Finish verification from a :meth:`prepare_verifier` state.
+
+        Must decide exactly like :meth:`verify` on the same view.  The
+        default ignores ``state`` and calls :meth:`verify`.
+        """
+        return self.verify(view, challenge, neighbor_challenges)
 
     # ------------------------------------------------------------------
     def draw_challenges(self, network: Network, rng: random.Random) -> dict[Node, int]:

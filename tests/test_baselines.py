@@ -197,3 +197,29 @@ class TestDMAMProtocol:
             by_name["planarity-pls"].max_certificate_bits
         assert all(row.accepted for row in rows)
 
+
+    def test_garbage_stack_heights_rejected_not_crash(self):
+        """A first message with a garbage-typed stack_heights field is a
+        rejection at the affected nodes, never an exception — through both
+        the reference runner and the engine runtime."""
+        from repro.distributed.engine import SimulationEngine
+
+        protocol = PlanarityDMAMProtocol()
+        graph = random_planar_graph(16, seed=14)
+        network = Network(graph, seed=14)
+        turn = protocol.first_turn(network)
+        challenges = protocol.draw_challenges(network, random.Random(14))
+        second = protocol.second_turn(network, turn, challenges)
+        for garbage in (None, 7, ((1,),), (("a", "b"),)):
+            tampered = dict(turn.messages)
+            victim = next(iter(tampered))
+            tampered[victim] = dataclasses.replace(tampered[victim],
+                                                   stack_heights=garbage)
+            reference = run_interactive_protocol(
+                protocol, network, seed=14,
+                dishonest_first=tampered, dishonest_second=second)
+            assert not reference.accepted
+            batched = SimulationEngine().run_interactive(
+                protocol, network, seed=14,
+                dishonest_first=tampered, dishonest_second=second)
+            assert reference.decisions == batched.decisions

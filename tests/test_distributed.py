@@ -313,3 +313,171 @@ class TestSynchronousSimulator:
         results = simulator.run(one_shot, max_rounds=5)
         assert results[0].messages_sent == 8
         assert results[0].max_message_bits == encoded_size_bits(7)
+
+    def test_messages_to_halted_nodes_are_delivered_and_counted(self):
+        """A halted node stays addressable: traffic to it is legal and counted,
+        it just never reads it."""
+        network = Network(path_graph(3), seed=7)
+        # the degree-2 node of the path
+        middle_node = next(node for node in network.nodes()
+                           if len(network.neighbor_ids(node)) == 2)
+        middle_id = network.id_of(middle_node)
+
+        def algorithm(process, inbox):
+            round_number = process.state.setdefault("round", 0)
+            process.state["round"] = round_number + 1
+            process.state.setdefault("seen", []).append(dict(inbox))
+            if process.identifier == middle_id:
+                if round_number == 0:
+                    process.halt(output="halted-early")
+                return {}
+            if round_number == 0:
+                return {middle_id: 5}   # arrives while the middle node halts
+            if round_number == 1:
+                # the middle node is halted *now*; messaging it is still legal
+                return {middle_id: 9}
+            process.halt(output="done")
+            return {}
+
+        simulator = SynchronousSimulator(network)
+        results = simulator.run(algorithm, max_rounds=10)
+        # both endpoints messaged the middle node in rounds 0 and 1
+        assert results[0].messages_sent == 2
+        assert results[1].messages_sent == 2
+        assert simulator.processes[middle_node].output == "halted-early"
+        # the halted node ran exactly once, so it read only the (empty)
+        # round-0 inbox; the round-0 and round-1 messages were delivered to
+        # its slot but never read
+        assert simulator.processes[middle_node].state["seen"] == [{}]
+
+    def test_round_accounting_after_partial_halts(self):
+        """Halted nodes stop sending; round statistics reflect only live senders."""
+        network = Network(star_graph(4), seed=8)   # center + 4 leaves
+        center = next(node for node in network.nodes()
+                      if len(network.neighbor_ids(node)) == 4)
+        center_id = network.id_of(center)
+
+        def algorithm(process, inbox):
+            round_number = process.state.setdefault("round", 0)
+            process.state["round"] = round_number + 1
+            if process.identifier == center_id:
+                if round_number < 2:
+                    return {nid: 1 for nid in process.neighbor_ids}
+                process.halt()
+                return {}
+            # leaves message the center once, then halt
+            if round_number == 0:
+                return {center_id: 1}
+            process.halt()
+            return {}
+
+        simulator = SynchronousSimulator(network)
+        results = simulator.run(algorithm, max_rounds=10)
+        assert results[0].messages_sent == 8    # center->4 leaves, 4 leaves->center
+        assert results[1].messages_sent == 4    # only the center is still sending
+        assert results[2].messages_sent == 0    # center's halting round
+        assert simulator.rounds_used == 3
+        assert all(process.halted for process in simulator.processes.values())
+
+    def test_outputs_and_process_keys_cover_every_node(self):
+        network = Network(grid_graph(2, 3), seed=9)
+        simulator = SynchronousSimulator(network)
+        assert set(simulator.processes) == set(network.nodes())
+        for node, process in simulator.processes.items():
+            assert process.identifier == network.id_of(node)
+            assert process.neighbor_ids == network.neighbor_ids(node)
+        simulator.run(lambda process, inbox: process.halt() or {}, max_rounds=2)
+        assert set(simulator.outputs()) == set(network.nodes())
+
+
+# ----------------------------------------------------------------------
+# message-size accounting of the CONGEST simulator
+# ----------------------------------------------------------------------
+class TestMessageBits:
+    def test_encoder_priced_payloads(self):
+        from repro.distributed.congest import _message_bits
+
+        assert _message_bits(None) == encoded_size_bits(None)
+        assert _message_bits(True) == encoded_size_bits(True)
+        assert _message_bits(12345) == encoded_size_bits(12345)
+
+    def test_container_fallbacks(self):
+        from repro.distributed.congest import _message_bits
+
+        assert _message_bits((1, 2)) == encoded_size_bits(1) + encoded_size_bits(2)
+        assert _message_bits([None, 3]) == encoded_size_bits(None) + encoded_size_bits(3)
+        assert _message_bits({1: 2}) == encoded_size_bits(1) + encoded_size_bits(2)
+        # nested containers recurse
+        assert _message_bits(((1,), [2])) == encoded_size_bits(1) + encoded_size_bits(2)
+
+    def test_string_fallback_counts_utf8_bits(self):
+        from repro.distributed.congest import _message_bits
+
+        assert _message_bits("ok") == 16
+        assert _message_bits("é") == 8 * len("é".encode("utf-8"))
+
+    def test_unaccountable_payload_still_raises(self):
+        from repro.distributed.congest import _message_bits
+
+        with pytest.raises(CertificateError):
+            _message_bits(object())
+        with pytest.raises(CertificateError):
+            _message_bits((1, object()))
+
+    def test_encoder_bugs_are_not_swallowed(self):
+        """Only the encoder's CertificateError selects the fallback; a genuine
+        bug inside an Encodable.encode implementation propagates."""
+        from repro.distributed.congest import _message_bits
+
+        class BrokenMessage(Encodable):
+            def encode(self, writer):
+                raise TypeError("bug inside encode()")
+
+        with pytest.raises(TypeError, match="bug inside encode"):
+            _message_bits(BrokenMessage())
+        with pytest.raises(TypeError, match="bug inside encode"):
+            _message_bits([BrokenMessage()])
+
+    def test_simulator_size_memo_distinguishes_bool_and_int(self):
+        """True == 1 as dict keys, but the memoised sizes must not conflate
+        them (they encode to different widths)."""
+        network = Network(path_graph(2), seed=10)
+
+        def algorithm(process, inbox):
+            round_number = process.state.setdefault("round", 0)
+            process.state["round"] = round_number + 1
+            if round_number == 0:
+                return {nid: 1 for nid in process.neighbor_ids}
+            if round_number == 1:
+                return {nid: True for nid in process.neighbor_ids}
+            process.halt()
+            return {}
+
+        simulator = SynchronousSimulator(network)
+        results = simulator.run(algorithm, max_rounds=5)
+        assert results[0].max_message_bits == encoded_size_bits(1)
+        assert results[1].max_message_bits == encoded_size_bits(True)
+        assert results[0].max_message_bits != results[1].max_message_bits
+
+    def test_size_accounting_not_conflated_for_equal_containers(self):
+        """(1,) == (True,) as dict keys but they encode to different widths;
+        the per-simulator memo must not serve one the other's size."""
+        from repro.distributed.congest import _message_bits
+
+        network = Network(path_graph(2), seed=11)
+
+        def algorithm(process, inbox):
+            round_number = process.state.setdefault("round", 0)
+            process.state["round"] = round_number + 1
+            if round_number == 0:
+                return {nid: (1,) for nid in process.neighbor_ids}
+            if round_number == 1:
+                return {nid: (True,) for nid in process.neighbor_ids}
+            process.halt()
+            return {}
+
+        simulator = SynchronousSimulator(network)
+        results = simulator.run(algorithm, max_rounds=5)
+        assert results[0].max_message_bits == _message_bits((1,))
+        assert results[1].max_message_bits == _message_bits((True,))
+        assert results[0].max_message_bits != results[1].max_message_bits

@@ -322,3 +322,213 @@ class TestNetworkRngPlumbing:
         first = Network(graph, rng=rng)
         second = Network(graph, rng=rng)
         assert first.ids() != second.ids()  # the stream advanced
+
+
+# ----------------------------------------------------------------------
+# the interactive (dMAM) runtime on the engine
+# ----------------------------------------------------------------------
+def _transcripts_equal(reference, engine_made):
+    """Field-for-field transcript equality (the acceptance contract)."""
+    assert reference.protocol_name == engine_made.protocol_name
+    assert reference.interactions == engine_made.interactions
+    assert reference.first_certificates == engine_made.first_certificates
+    assert reference.challenges == engine_made.challenges
+    assert reference.second_certificates == engine_made.second_certificates
+    assert reference.decisions == engine_made.decisions
+    assert reference.accepted == engine_made.accepted
+
+
+def _forged_seconds(second):
+    """Corrupt every second message's relayed coin (caught deterministically)."""
+    import dataclasses
+
+    from repro.baselines.dmam import FIELD_PRIME
+
+    return {node: dataclasses.replace(
+        message, global_point=(message.global_point + 1) % FIELD_PRIME)
+        for node, message in second.items()}
+
+
+class TestInteractiveRuntime:
+    def _protocol(self):
+        return default_registry().create("planarity-dmam")
+
+    def test_honest_transcript_matches_reference_on_planar(self):
+        from repro.distributed.interactive import run_interactive_protocol
+
+        for maker_seed, graph in [(1, delaunay_planar_graph(40, seed=21)),
+                                  (2, random_tree(25, seed=22))]:
+            network = Network(graph, seed=maker_seed)
+            engine = SimulationEngine()
+            protocol = self._protocol()
+            reference = run_interactive_protocol(protocol, network, seed=31)
+            batched = engine.run_interactive(protocol, network, seed=31)
+            _transcripts_equal(reference, batched)
+            assert batched.accepted
+            # replay from the warm first-turn cache: still identical
+            _transcripts_equal(reference,
+                               engine.run_interactive(protocol, network, seed=31))
+
+    def test_dishonest_transcript_matches_reference_on_planar(self):
+        import random as random_module
+
+        from repro.distributed.interactive import run_interactive_protocol
+
+        graph = delaunay_planar_graph(30, seed=23)
+        network = Network(graph, seed=23)
+        protocol = self._protocol()
+        turn = protocol.first_turn(network)
+        challenges = protocol.draw_challenges(network, random_module.Random(33))
+        forged = _forged_seconds(protocol.second_turn(network, turn, challenges))
+        reference = run_interactive_protocol(
+            protocol, network, seed=33,
+            dishonest_first=turn.messages, dishonest_second=forged)
+        batched = SimulationEngine().run_interactive(
+            protocol, network, seed=33,
+            dishonest_first=turn.messages, dishonest_second=forged)
+        _transcripts_equal(reference, batched)
+        assert not batched.accepted
+
+    def test_dishonest_transcript_matches_reference_on_nonplanar(self):
+        """Transplanted first messages on a non-planar sibling: every path
+        rejects, and the engine transcript still mirrors the reference."""
+        from repro.baselines.dmam import DMAMSecondMessage
+        from repro.distributed.interactive import run_interactive_protocol
+
+        planar = delaunay_planar_graph(20, seed=24)
+        nonplanar = planar_plus_random_edges(20, extra_edges=3, seed=24)
+        protocol = self._protocol()
+        network = Network(nonplanar, seed=24)
+        donor = Network(planar, ids={node: network.id_of(node)
+                                     for node in planar.nodes()})
+        first = protocol.first_turn(donor).messages
+        second = {node: DMAMSecondMessage(global_point=5,
+                                          push_product_subtree=1,
+                                          pop_product_subtree=1)
+                  for node in network.nodes()}
+        reference = run_interactive_protocol(
+            protocol, network, seed=34,
+            dishonest_first=first, dishonest_second=second)
+        batched = SimulationEngine().run_interactive(
+            protocol, network, seed=34,
+            dishonest_first=first, dishonest_second=second)
+        _transcripts_equal(reference, batched)
+        assert not batched.accepted
+
+    def test_estimate_matches_per_draw_reference(self):
+        from repro.distributed.interactive import run_interactive_protocol
+
+        graph = delaunay_planar_graph(25, seed=25)
+        network = Network(graph, seed=25)
+        engine = SimulationEngine()
+        protocol = self._protocol()
+        estimate = engine.estimate_soundness_error(protocol, network, 5, seed=44)
+        assert estimate.trials == 5
+        assert estimate.total_nodes == network.size
+        for index in range(5):
+            reference = run_interactive_protocol(
+                protocol, network, seed=derive_seed(44, index))
+            assert sum(reference.decisions.values()) == estimate.accepting_counts[index]
+        assert estimate.error_rate == 1.0
+        assert estimate.all_accept_count == 5
+        assert estimate.max_accepting == network.size
+        assert estimate.mean_accepting == network.size
+
+    def test_estimate_with_second_strategy_matches_reference(self):
+        import random as random_module
+
+        from repro.distributed.interactive import run_interactive_protocol
+
+        graph = delaunay_planar_graph(25, seed=26)
+        network = Network(graph, seed=26)
+        engine = SimulationEngine()
+        protocol = self._protocol()
+        turn = engine.first_turn(protocol, network)
+
+        def strategy(net, first, challenges):
+            return _forged_seconds(protocol.second_turn(net, turn, challenges))
+
+        estimate = engine.estimate_soundness_error(
+            protocol, network, 4, seed=55,
+            first=turn.messages, second_strategy=strategy)
+        assert estimate.error_rate == 0.0
+        for index in range(4):
+            rng = random_module.Random(derive_seed(55, index))
+            challenges = protocol.draw_challenges(network, rng)
+            second = strategy(network, turn.messages, challenges)
+            reference = run_interactive_protocol(
+                protocol, network, seed=derive_seed(55, index),
+                dishonest_first=turn.messages, dishonest_second=second)
+            assert sum(reference.decisions.values()) == estimate.accepting_counts[index]
+
+    def test_first_turn_cached_per_network_and_protocol(self):
+        from repro.baselines.dmam import PlanarityDMAMProtocol
+
+        calls = []
+
+        class CountingProtocol(PlanarityDMAMProtocol):
+            def first_turn(self, network):
+                calls.append(id(network))
+                return super().first_turn(network)
+
+        graph = delaunay_planar_graph(20, seed=27)
+        other_graph = random_tree(15, seed=27)
+        network = Network(graph, seed=27)
+        other = Network(other_graph, seed=27)
+        engine = SimulationEngine()
+        protocol = CountingProtocol()
+        engine.run_interactive(protocol, network, seed=1)
+        engine.run_interactive(protocol, network, seed=2)
+        assert calls == [id(network)]
+        # interleaving another network computes one more first turn, and the
+        # explicit FirstTurn state keeps the original network's replays
+        # correct afterwards (no cross-network decomposition leakage)
+        engine.run_interactive(protocol, other, seed=3)
+        replay = engine.run_interactive(protocol, network, seed=4)
+        assert calls == [id(network), id(other)]
+        assert replay.accepted
+        # cache=False bypasses
+        engine.first_turn(protocol, network, cache=False)
+        assert len(calls) == 3
+
+    def test_decision_only_mode_matches_transcript(self):
+        import random as random_module
+
+        graph = delaunay_planar_graph(20, seed=28)
+        network = Network(graph, seed=28)
+        engine = SimulationEngine()
+        protocol = self._protocol()
+        turn = engine.first_turn(protocol, network)
+        challenges = protocol.draw_challenges(network, random_module.Random(66))
+        second = protocol.second_turn(network, turn, challenges)
+        transcript = engine.run_interactive(protocol, network, seed=66)
+        prepared = engine.interactive_prepared(protocol, network, turn.messages)
+        count = engine.count_accepting_interactive(
+            protocol, network, turn.messages, second, challenges, prepared=prepared)
+        assert count == sum(transcript.decisions.values())
+
+    def test_estimate_pool_matches_serial(self):
+        from repro.baselines.dmam import PlanarityDMAMProtocol
+
+        graph = delaunay_planar_graph(20, seed=29)
+        network = Network(graph, seed=29)
+        serial = SimulationEngine(seed=77).estimate_soundness_error(
+            PlanarityDMAMProtocol(), network, 4, seed=77)
+        pooled = SimulationEngine(seed=77, workers=2).estimate_soundness_error(
+            PlanarityDMAMProtocol(), network, 4, seed=77)
+        assert serial.accepting_counts == pooled.accepting_counts
+
+    def test_transcript_mutation_does_not_corrupt_first_turn_cache(self):
+        """Transcripts belong to the caller: editing first_certificates on a
+        returned transcript (to build a dishonest variant) must not tamper
+        with the engine's cached first turn."""
+        graph = delaunay_planar_graph(20, seed=30)
+        network = Network(graph, seed=30)
+        engine = SimulationEngine()
+        protocol = self._protocol()
+        transcript = engine.run_interactive(protocol, network, seed=88)
+        victim = next(iter(transcript.first_certificates))
+        transcript.first_certificates[victim] = None
+        replay = engine.run_interactive(protocol, network, seed=88)
+        assert replay.accepted
+        assert replay.first_certificates[victim] is not None

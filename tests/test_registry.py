@@ -148,16 +148,24 @@ class TestRegistryBehaviour:
 
     def test_backend_support_matrix_matches_architecture_docs(self):
         """The backend-support matrix in docs/ARCHITECTURE.md is the
-        documented contract; it must agree with ``default_registry()``."""
+        documented contract; it must agree with ``default_registry()`` —
+        scheme set, kinds, kernel classes, and the kind→runtime mapping."""
         pytest.importorskip("numpy")
         docs = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
-        rows = re.findall(r"^\| `([\w-]+)` \| (\w+) \| (?:`(\w+)`|—) \|",
-                          docs.read_text(), flags=re.MULTILINE)
-        documented = {name: (kind, kernel or None) for name, kind, kernel in rows}
+        rows = re.findall(
+            r"^\| `([\w-]+)` \| (\w+) \| (?:`(\w+)`|—) \| `engine\.(\w+)` \|",
+            docs.read_text(), flags=re.MULTILINE)
+        documented = {name: (kind, kernel or None, runtime)
+                      for name, kind, kernel, runtime in rows}
         registry = default_registry()
         assert set(documented) == set(registry.names())
-        for name, (kind, kernel_class) in documented.items():
+        from repro.distributed.engine import SimulationEngine
+
+        expected_runtime = {"pls": "verify", "interactive": "run_interactive"}
+        for name, (kind, kernel_class, runtime) in documented.items():
             assert registry.entry(name).kind == kind
+            assert runtime == expected_runtime[kind]
+            assert callable(getattr(SimulationEngine, runtime))
             kernel = registry.kernel(name)
             if kernel_class is None:
                 assert kernel is None
