@@ -31,7 +31,46 @@ from repro.graphs.planarity import compute_planar_embedding
 from repro.graphs.spanning_tree import RootedTree, bfs_spanning_tree
 from repro.graphs.validation import require_connected
 
-__all__ = ["DFSMapping", "TreeEdgeImage", "PlanarCutDecomposition", "cut_open"]
+__all__ = ["DFSMapping", "TreeEdgeImage", "PlanarCutDecomposition", "cut_open",
+           "euler_tour_locally_consistent"]
+
+
+def euler_tour_locally_consistent(copies: set[int],
+                                  child_spans: list[tuple[int, int]]) -> bool:
+    """Local Euler-tour consistency of one node's claimed copies (Phase 2b).
+
+    A node of the Theorem 1 verifier knows its claimed copy indices
+    (``f^{-1}`` of itself, reconstructed from the visible edge certificates)
+    and, for every tree child, the index span ``[child_min, child_max]``
+    that child's subtree claims to occupy.  In a genuine DFS-mapping the
+    copies and spans interleave exactly: the first copy is followed by the
+    first child's whole span, then the next copy, the next span, and so on
+    — so the sorted copies must equal ``[f_min, span_1.max + 1, ...,
+    span_m.max + 1]`` with ``span_k.min == previous copy + 1``.
+
+    This is the pure chain predicate shared between the reference verifier
+    (:func:`repro.core.planarity_scheme.reconstruct_local_structure`) and
+    the vectorized planarity kernel, which evaluates the same conditions for
+    all nodes at once with per-node segmented sorts
+    (:func:`repro.vectorized.kernels.segment_sort`).  The root/parent anchor
+    (``f_min``/``f_max`` against the parent edge's indices) stays with the
+    callers — it needs the parent certificate, not the tour shape.
+
+    Ties among span starts make the chain unsatisfiable in every order, so
+    the predicate is order-insensitive even though Python's sort breaks such
+    ties arbitrarily.
+    """
+    if not copies:
+        return False
+    copies_sorted = sorted(copies)
+    expected = [copies_sorted[0]]
+    for child_min, child_max in sorted(child_spans):
+        if child_min > child_max:
+            return False
+        if child_min != expected[-1] + 1:
+            return False
+        expected.append(child_max + 1)
+    return copies_sorted == expected
 
 
 @dataclass(frozen=True)

@@ -36,7 +36,11 @@ from repro.core.building_blocks import (
     check_spanning_tree_label,
     spanning_tree_labels,
 )
-from repro.core.dfs_mapping import PlanarCutDecomposition, cut_open
+from repro.core.dfs_mapping import (
+    PlanarCutDecomposition,
+    cut_open,
+    euler_tour_locally_consistent,
+)
 from repro.core.path_outerplanar import compute_covering_intervals
 from repro.core.po_scheme import algorithm1_check
 from repro.distributed.certificates import BitWriter, Encodable
@@ -57,6 +61,8 @@ __all__ = [
     "PlanarityScheme",
     "LocalStructure",
     "reconstruct_local_structure",
+    "consistent_interval_map",
+    "simulate_algorithm1",
 ]
 
 Interval = tuple[int, int]
@@ -68,8 +74,8 @@ MAX_EDGE_CERTIFICATES_PER_NODE = 5
 
 #: an honest edge certificate mentions at most four ``G_{T,f}`` indices
 #: (tree edges: descend/return plus successors; cotree edges: two copies),
-#: so its interval list has at most four entries; the vectorized prefilter
-#: kernel routes certificates with longer lists to the reference fallback,
+#: so its interval list has at most four entries; the vectorized kernel
+#: routes certificates with longer lists to the reference fallback,
 #: with headroom so only truly foreign shapes leave the fast path
 MAX_INTERVAL_ENTRIES_PER_CERTIFICATE = 8
 
@@ -299,28 +305,59 @@ class PlanarityScheme(ProofLabelingScheme):
             return False
         if structure.is_single_node:
             return True
-        # ---- Phase 3: simulate Algorithm 1 at every copy ----
-        interval_of = structure.interval_of
-        n_path = structure.path_length
-        for index in structure.copies:
-            if index not in interval_of:
-                return False
-            neighbor_intervals: dict[int, Interval | None] = {}
-            for path_neighbor in (index - 1, index + 1):
-                if 1 <= path_neighbor <= n_path:
-                    if path_neighbor not in interval_of:
-                        return False
-                    neighbor_intervals[path_neighbor] = interval_of[path_neighbor]
-            for chord_neighbor in structure.chord_neighbors[index]:
-                if chord_neighbor not in interval_of:
+        return simulate_algorithm1(structure)
+
+
+def simulate_algorithm1(structure: "LocalStructure") -> bool:
+    """Phase 3 of Algorithm 2: run the Algorithm 1 verifier at every copy.
+
+    Standalone (it consumes only the reconstructed :class:`LocalStructure`)
+    so the vectorized planarity kernel can mirror it conjunct for conjunct
+    over the flattened copy/chord arrays — the same sharing contract as
+    :func:`~repro.core.building_blocks.check_spanning_tree_label` /
+    :func:`~repro.vectorized.kernels.spanning_tree_accept`.
+    """
+    interval_of = structure.interval_of
+    n_path = structure.path_length
+    for index in structure.copies:
+        if index not in interval_of:
+            return False
+        neighbor_intervals: dict[int, Interval | None] = {}
+        for path_neighbor in (index - 1, index + 1):
+            if 1 <= path_neighbor <= n_path:
+                if path_neighbor not in interval_of:
                     return False
-                if chord_neighbor in neighbor_intervals:
-                    # two distinct G_{T,f} edges cannot join the same pair of copies
-                    return False
-                neighbor_intervals[chord_neighbor] = interval_of[chord_neighbor]
-            if not algorithm1_check(index, n_path, interval_of[index], neighbor_intervals):
+                neighbor_intervals[path_neighbor] = interval_of[path_neighbor]
+        for chord_neighbor in structure.chord_neighbors[index]:
+            if chord_neighbor not in interval_of:
                 return False
-        return True
+            if chord_neighbor in neighbor_intervals:
+                # two distinct G_{T,f} edges cannot join the same pair of copies
+                return False
+            neighbor_intervals[chord_neighbor] = interval_of[chord_neighbor]
+        if not algorithm1_check(index, n_path, interval_of[index], neighbor_intervals):
+            return False
+    return True
+
+
+def consistent_interval_map(certificates, n_path: int) -> dict[int, Interval] | None:
+    """Merge the interval entries of the visible edge certificates, or ``None``.
+
+    The interval-map consistency phase of Algorithm 2: every mentioned index
+    must lie in ``1 .. n_path`` and every certificate mentioning the same
+    index must claim the same ``(low, high)`` interval.  Shared with the
+    vectorized kernel, which runs the same two conditions as a per-node
+    segmented sort over the flattened ``(index, low, high)`` triples.
+    """
+    interval_of: dict[int, Interval] = {}
+    for certificate in certificates:
+        for index, low, high in certificate.intervals:
+            if not 1 <= index <= n_path:
+                return None
+            value = (low, high)
+            if interval_of.setdefault(index, value) != value:
+                return None
+    return interval_of
 
 
 @dataclass(frozen=True)
@@ -415,14 +452,9 @@ def reconstruct_local_structure(view: LocalView,
         return None
 
     # consistent interval map over all mentioned indices
-    interval_of: dict[int, Interval] = {}
-    for certificate in collected.values():
-        for index, low, high in certificate.intervals:
-            if not 1 <= index <= n_path:
-                return None
-            value = (low, high)
-            if interval_of.setdefault(index, value) != value:
-                return None
+    interval_of = consistent_interval_map(collected.values(), n_path)
+    if interval_of is None:
+        return None
 
     # ---- Phase 1b: recover my copies and the local structure of G_{T,f} ----
     parent_id = st_own.parent_id
@@ -464,19 +496,14 @@ def reconstruct_local_structure(view: LocalView,
         return None
 
     # ---- Phase 2b: f is a DFS-mapping of T ----
+    # (an adversarial certificate set can leave a node with no copies at
+    # all — a root claiming total == 1 whose incident edges are all covered
+    # by cotree certificates — which no genuine Euler tour produces, so the
+    # chain predicate rejects it outright)
+    if not euler_tour_locally_consistent(my_copies, list(child_span.values())):
+        return None
     copies_sorted = sorted(my_copies)
     f_min, f_max = copies_sorted[0], copies_sorted[-1]
-    ordered_children = sorted(child_span, key=lambda cid: child_span[cid][0])
-    expected_copies = [f_min]
-    for child_id in ordered_children:
-        child_min, child_max = child_span[child_id]
-        if child_min > child_max:
-            return None
-        if child_min != expected_copies[-1] + 1:
-            return None
-        expected_copies.append(child_max + 1)
-    if copies_sorted != expected_copies:
-        return None
     if parent_id is None:
         # the root owns the first and last index of the Euler tour
         if f_min != 1 or f_max != n_path:

@@ -178,6 +178,11 @@ class SimulationEngine:
         self.network_cache_size = network_cache_size
         self.backend = backend
         self.kernel_registry = kernel_registry
+        # vectorized-path coverage counters (see backend_counters)
+        self._backend_counters = {
+            "kernel_calls": 0, "kernel_nodes": 0,
+            "fallback_nodes": 0, "fallback_networks": 0,
+        }
         # structural views per network: id(network) -> {radius: [NodeStructure]}
         self._structures: dict[int, dict[int, list[NodeStructure]]] = {}
         # honest certificates per network: id(network) -> {id(scheme): certs}
@@ -383,6 +388,28 @@ class SimulationEngine:
             self._vector_contexts[key] = ctx
             return ctx
 
+    @property
+    def backend_counters(self) -> dict[str, int]:
+        """Coverage counters of the vectorized path (a read-only snapshot).
+
+        ``kernel_calls`` / ``kernel_nodes`` count the calls (and their node
+        totals) actually decided through a kernel; ``fallback_nodes`` counts
+        the nodes a kernel flagged for per-node reference re-decision (the
+        exactness fallback plus any prefilter-degradation survivors); and
+        ``fallback_networks`` counts vectorized-backend calls the kernels
+        could not serve at all (no kernel, radius > 1, refused network) and
+        that ran the reference loop wholesale.  Together with wall-clock
+        these make kernel *coverage* a tracked benchmark quantity — a
+        regression that silently reverts a kernel to its fallback path shows
+        up here even when decisions stay identical.
+        """
+        return dict(self._backend_counters)
+
+    def reset_backend_counters(self) -> None:
+        """Zero the :attr:`backend_counters` (e.g. between benchmark legs)."""
+        for key in self._backend_counters:
+            self._backend_counters[key] = 0
+
     def _accept_vector(self, scheme: ProofLabelingScheme, network: Network,
                        certificates: dict[Node, Any]) -> Any | None:
         """Per-node accept vector via the scheme's kernel, or ``None``.
@@ -394,16 +421,23 @@ class SimulationEngine:
         represent exactly — are re-decided here with the reference verifier
         on the cached structures, so the returned vector is always exact.
         """
+        counters = self._backend_counters
         if scheme.verification_radius != 1:
+            counters["fallback_networks"] += 1
             return None
         kernel = self._kernel_for(scheme)
         if kernel is None:
+            counters["fallback_networks"] += 1
             return None
         ctx = self._vector_context(network)
         if ctx is None:
+            counters["fallback_networks"] += 1
             return None
         accept, fallback = kernel.accept_vector(ctx, scheme, certificates)
+        counters["kernel_calls"] += 1
+        counters["kernel_nodes"] += ctx.n
         if fallback.any():
+            counters["fallback_nodes"] += int(fallback.sum())
             structures = self.structures(network, 1)
             verify = scheme.verify
             view = self._view

@@ -151,6 +151,22 @@ class SchemeRegistry:
         """Return the scheme names that have a vectorized kernel."""
         return sorted(self._kernels)
 
+    def kernel_coverage(self, name: str) -> str | None:
+        """Return the kernel's coverage level for ``name``, or ``None``.
+
+        ``"full"`` — the kernel decides every phase in array form (both
+        acceptance and rejection are final, fallback only for
+        unrepresentable certificates); ``"prefilter"`` — it vectorizes a
+        necessary prefix and flags survivors for per-node fallback.  Kernels
+        declare this on a ``coverage`` attribute (``"full"`` when absent);
+        the backend-support matrix in ``docs/ARCHITECTURE.md`` is asserted
+        against these values by ``tests/test_registry.py``.
+        """
+        kernel = self._kernels.get(name)
+        if kernel is None:
+            return None
+        return getattr(kernel, "coverage", "full")
+
     # ------------------------------------------------------------------
     def entry(self, name: str) -> RegistryEntry:
         """Return the entry for ``name``; raise :class:`RegistryError` if absent."""

@@ -21,10 +21,10 @@ The subsystem has three layers (documented end to end in
   the segment-reduction toolkit, the shared spanning-tree and
   Hamiltonian-path sub-checks, and the concrete kernels for ``tree-pls``
   and ``path-graph-pls``;
-* :mod:`repro.vectorized.paper_kernels` — the headline schemes: a full
-  kernel for ``non-planarity-pls`` and a prefilter kernel for
-  ``planarity-pls`` (vectorized spanning-tree + path-consistency phases,
-  wholesale fallback for the rest);
+* :mod:`repro.vectorized.paper_kernels` — the headline schemes: full
+  kernels for both ``non-planarity-pls`` and ``planarity-pls`` (every
+  Algorithm 2 phase compiled to segmented array passes, fallback reserved
+  for unrepresentable certificates);
 * registration — kernels are registered alongside their schemes in
   :func:`repro.distributed.registry.default_registry`; the
   :class:`~repro.distributed.engine.SimulationEngine` selects them with
@@ -44,6 +44,7 @@ from repro.vectorized.compiler import (
     CertificateTable,
     EdgeListTable,
     FieldSpec,
+    IntervalTable,
     VectorContext,
     build_vector_context,
     compile_certificates,
@@ -61,12 +62,15 @@ from repro.vectorized.kernels import (
     segment_all,
     segment_any,
     segment_count,
+    segment_rank,
+    segment_sort,
     segment_sum,
     spanning_tree_accept,
     view_fallback,
 )
 from repro.vectorized.paper_kernels import (
     EDGE_CERTIFICATE_FIELDS,
+    INTERVAL_ENTRY_FIELDS,
     NESTED_SPANNING_TREE_FIELDS,
     NONPLANARITY_FIELDS,
     PLANARITY_FIELDS,
@@ -82,6 +86,7 @@ __all__ = [
     "CertificateTable",
     "EdgeListTable",
     "FieldSpec",
+    "IntervalTable",
     "VectorContext",
     "build_vector_context",
     "compile_certificates",
@@ -97,10 +102,13 @@ __all__ = [
     "segment_all",
     "segment_any",
     "segment_count",
+    "segment_rank",
+    "segment_sort",
     "segment_sum",
     "spanning_tree_accept",
     "view_fallback",
     "EDGE_CERTIFICATE_FIELDS",
+    "INTERVAL_ENTRY_FIELDS",
     "NESTED_SPANNING_TREE_FIELDS",
     "NONPLANARITY_FIELDS",
     "PLANARITY_FIELDS",

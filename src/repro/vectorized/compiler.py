@@ -52,6 +52,7 @@ __all__ = [
     "VectorContext",
     "CertificateTable",
     "EdgeListTable",
+    "IntervalTable",
     "build_vector_context",
     "compile_certificates",
     "compile_edge_lists",
@@ -319,6 +320,26 @@ def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
 
 
 @dataclass
+class IntervalTable:
+    """A variable-width *sub-list* of an :class:`EdgeListTable` entry.
+
+    Second level of the offsets+values idiom: entry ``e`` of the parent
+    edge-list table owns the block ``offsets[e]:offsets[e + 1]`` of every
+    column here.  This is the layout that lets interval *values* (the Lemma 2
+    ``(index, low, high)`` triples of the planarity edge certificates) enter
+    the columns instead of forcing the holder onto the reference fallback:
+    each sub-record is a plain tuple whose positional fields are declared by
+    the ``sublist_fields`` of :func:`compile_edge_lists` — no optional
+    slots, every value an exact int within the field's magnitude limit,
+    anything else marks the *holder* unrepresentable.
+    """
+
+    offsets: Any
+    counts: Any
+    columns: dict[str, Any]
+
+
+@dataclass
 class EdgeListTable:
     """A variable-width per-node list field in flattened offsets+values form.
 
@@ -339,6 +360,16 @@ class EdgeListTable:
     *certificate* is absent or foreign get an empty block too, but are not
     flagged here — the node-level :class:`CertificateTable` already accounts
     for them.
+
+    ``uids`` (with ``assign_uids=True``) holds a per-entry *content
+    identity*: two entries share a uid exactly when they are equal as
+    dataclasses.  This only holds when the declared ``fields`` (plus the
+    sublist) cover every dataclass field of every entry type — the caller's
+    obligation — and it is what lets a kernel run the reference verifier's
+    ``existing != certificate`` conflict checks as integer comparisons.
+
+    ``sub`` (with ``sublist=...``) carries the nested
+    :class:`IntervalTable` of each entry's variable-width tuple field.
     """
 
     offsets: Any
@@ -346,12 +377,18 @@ class EdgeListTable:
     columns: dict[str, Any]
     isnone: dict[str, Any]
     unrepresentable: Any
+    uids: Any = None
+    sub: IntervalTable | None = None
 
 
 def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
                        certificate_type: type, list_name: str,
                        entry_types: tuple[type, ...],
-                       fields: tuple[FieldSpec, ...]) -> EdgeListTable:
+                       fields: tuple[FieldSpec, ...],
+                       sublist: str | None = None,
+                       sublist_fields: tuple[FieldSpec, ...] = (),
+                       sublist_max_len: int | None = None,
+                       assign_uids: bool = False) -> EdgeListTable:
     """Compile the ``list_name`` sequence attribute into an :class:`EdgeListTable`.
 
     Every entry must be exactly one of ``entry_types`` (subclasses fall back,
@@ -359,19 +396,48 @@ def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
     under ``fields`` (whose getters receive the *entry*); otherwise the whole
     holder is marked unrepresentable.  Extraction is memoised per certificate
     object in its ``__dict__``, like :func:`compile_certificates`.
+
+    ``sublist`` names a variable-width tuple attribute of each entry (the
+    planarity edge certificates' ``intervals``), compiled into a nested
+    :class:`IntervalTable` on ``table.sub``: every item must be a plain tuple
+    of exactly ``len(sublist_fields)`` ints, each within its field's
+    magnitude limit, and the tuple at most ``sublist_max_len`` long —
+    anything else marks the holder unrepresentable (the reference verifier
+    either raises on such a shape or compares it where int64 columns could
+    not reproduce the comparison, so the viewers must take the reference
+    path either way).
+
+    ``assign_uids=True`` labels each entry with a per-call content identity
+    on ``table.uids`` (equal uid ⟺ equal extracted content).  For the uid to
+    coincide with dataclass equality, ``fields`` plus the sublist must cover
+    every dataclass field of every entry type.
     """
     n = ctx.n
-    # the key carries the entry types as well: the same list compiled under
-    # a narrower entry-type tuple must not inherit these rows
-    rows_key = (f"_vectorized_list_{certificate_type.__qualname__}_{list_name}_"
+    # the key carries the entry types and the sublist spec as well: the same
+    # list compiled under a narrower entry-type tuple (or without the nested
+    # sub-rows) must not inherit these rows
+    rows_key = (f"_vectorized_flatlist_{certificate_type.__qualname__}_{list_name}_"
                 + "|".join(t.__qualname__ for t in entry_types) + "_"
                 + ",".join(spec.name + ("?" if spec.optional else "")
                            + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
                            for spec in fields))
+    if sublist is not None:
+        rows_key += (f"_{sublist}<={sublist_max_len}_"
+                     + ",".join(spec.name
+                                + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
+                                for spec in sublist_fields))
     unrepresentable = bytearray(n)
     counts = [0] * n
     flat: list[int] = []
     extend = flat.extend
+    sub_counts: list[int] = []
+    sub_counts_extend = sub_counts.extend
+    sub_flat: list[int] = []
+    sub_extend = sub_flat.extend
+    uids: list[int] = []
+    uids_append = uids.append
+    uid_of: dict[Any, int] = {}
+    uid_setdefault = uid_of.setdefault
     get = certificates.get
     for i, label in enumerate(ctx.labels):
         certificate = get(label)
@@ -380,17 +446,29 @@ def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
         try:
             rows = certificate.__dict__.get(rows_key, _MISSING)
         except AttributeError:  # pragma: no cover - frozen dataclasses have __dict__
-            rows = _extract_list_rows(certificate, list_name, entry_types, fields)
+            rows = _extract_list_rows(certificate, list_name, entry_types, fields,
+                                      sublist, sublist_fields, sublist_max_len)
         else:
             if rows is _MISSING:
-                rows = _extract_list_rows(certificate, list_name, entry_types, fields)
+                rows = _extract_list_rows(certificate, list_name, entry_types, fields,
+                                          sublist, sublist_fields, sublist_max_len)
                 certificate.__dict__[rows_key] = rows
         if rows is None:
             unrepresentable[i] = True
             continue
-        counts[i] = len(rows)
-        for row in rows:
-            extend(row)
+        # the memoised payload is pre-flattened (see _extract_list_rows), so
+        # per-trial assembly is a handful of extends per certificate — this
+        # loop is the per-trial cost of the backend on certificate-heavy
+        # schemes, and a per-row loop here dominated whole-kernel profiles
+        count, flat_fields, entry_sub_counts, flat_subs, contents = rows
+        counts[i] = count
+        extend(flat_fields)
+        if sublist is not None:
+            sub_counts_extend(entry_sub_counts)
+            sub_extend(flat_subs)
+        if assign_uids:
+            for content in contents:
+                uids_append(uid_setdefault(content, len(uid_of)))
     width = len(fields)
     matrix = np.array(flat, dtype=np.int64).reshape(len(flat) // width if width else 0, width)
     counts_arr = np.array(counts, dtype=np.int64)
@@ -405,24 +483,86 @@ def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
             column[mask] = 0
             isnone[spec.name] = mask
         columns[spec.name] = column
+    sub_table = None
+    if sublist is not None:
+        sub_width = len(sublist_fields)
+        sub_matrix = np.array(sub_flat, dtype=np.int64).reshape(
+            len(sub_flat) // sub_width if sub_width else 0, sub_width)
+        sub_counts_arr = np.array(sub_counts, dtype=np.int64)
+        sub_offsets = np.zeros(len(sub_counts) + 1, dtype=np.int64)
+        np.cumsum(sub_counts_arr, out=sub_offsets[1:])
+        sub_table = IntervalTable(
+            offsets=sub_offsets, counts=sub_counts_arr,
+            columns={spec.name: sub_matrix[:, j]
+                     for j, spec in enumerate(sublist_fields)})
     return EdgeListTable(
         offsets=offsets, counts=counts_arr, columns=columns, isnone=isnone,
-        unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool))
+        unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool),
+        uids=np.array(uids, dtype=np.int64) if assign_uids else None,
+        sub=sub_table)
 
 
 def _extract_list_rows(certificate: Any, list_name: str,
                        entry_types: tuple[type, ...],
-                       fields: tuple[FieldSpec, ...]) -> tuple | None:
-    """Return the entry rows of ``certificate.<list_name>``, or ``None``."""
+                       fields: tuple[FieldSpec, ...],
+                       sublist: str | None = None,
+                       sublist_fields: tuple[FieldSpec, ...] = (),
+                       sublist_max_len: int | None = None) -> tuple | None:
+    """Exact, pre-flattened rows of ``certificate.<list_name>``, or ``None``.
+
+    The memoised payload is the assembly-ready 5-tuple
+    ``(entry_count, flat_field_values, per_entry_sub_counts,
+    flat_sub_values, per_entry_contents)`` — flattening happens once per
+    certificate object here, so :func:`compile_edge_lists` only concatenates
+    per trial.  ``per_entry_contents`` holds one hashable content tuple per
+    entry (the field row, paired with the sub-rows when a sublist is
+    declared) and is what the uid assignment interns.
+    """
     entries = getattr(certificate, list_name)
     if type(entries) is not tuple:
         return None
-    rows = []
+    flat_fields: list[int] = []
+    entry_sub_counts: list[int] = []
+    flat_subs: list[int] = []
+    contents: list[Any] = []
     for entry in entries:
         if type(entry) not in entry_types:
             return None
         row = _field_row(entry, fields)
         if row is None:
             return None
-        rows.append(row)
+        flat_fields.extend(row)
+        if sublist is None:
+            contents.append(row)
+            continue
+        sub_rows = _sublist_rows(getattr(entry, sublist), sublist_fields,
+                                 sublist_max_len)
+        if sub_rows is None:
+            return None
+        entry_sub_counts.append(len(sub_rows))
+        for sub_row in sub_rows:
+            flat_subs.extend(sub_row)
+        contents.append((row, sub_rows))
+    return (len(entries), tuple(flat_fields), tuple(entry_sub_counts),
+            tuple(flat_subs), tuple(contents))
+
+
+def _sublist_rows(items: Any, fields: tuple[FieldSpec, ...],
+                  max_len: int | None) -> tuple | None:
+    """Exact rows of a tuple-of-tuples sub-list, or ``None`` if unrepresentable."""
+    if type(items) is not tuple or (max_len is not None and len(items) > max_len):
+        return None
+    width = len(fields)
+    rows = []
+    for item in items:
+        if type(item) is not tuple or len(item) != width:
+            return None
+        row = []
+        for value, spec in zip(item, fields):
+            if type(value) is not int and type(value) is not bool:
+                return None
+            if not -spec.limit < value < spec.limit:
+                return None
+            row.append(int(value))
+        rows.append(tuple(row))
     return tuple(rows)

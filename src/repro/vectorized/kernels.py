@@ -21,10 +21,11 @@ the certification ingredients the paper's planarity scheme builds on:
 :class:`TreeKernel` and :class:`PathGraphKernel` layer the schemes' extra
 every-edge conditions on top.  The paper's headline schemes build on the
 same sub-checks through nested-field compilation — see
-:mod:`repro.vectorized.paper_kernels` for the non-planarity kernel (full)
-and the planarity prefilter kernel (Algorithm 2's later reconstruction
-phases are certificate-*set* shaped, so surviving nodes fall back to the
-reference verifier).
+:mod:`repro.vectorized.paper_kernels` for the non-planarity and planarity
+kernels (both full: the planarity kernel compiles Algorithm 2's
+certificate-set-shaped reconstruction phases to per-node segmented sorts —
+composite-key ``argsort`` passes, the bounded-key specialisation of
+:func:`segment_sort` — aligned with :func:`segment_rank`).
 
 A kernel returns ``(accept, fallback)``: ``fallback[i]`` marks nodes whose
 radius-1 view contains an unrepresentable certificate (see the compiler's
@@ -61,6 +62,8 @@ __all__ = [
     "segment_count",
     "segment_all",
     "segment_any",
+    "segment_sort",
+    "segment_rank",
     "scatter_any",
     "view_fallback",
     "spanning_tree_accept",
@@ -142,6 +145,40 @@ def segment_all(flags: Any, starts: Any) -> Any:
 def segment_any(flags: Any, starts: Any) -> Any:
     """Per-node disjunction over a per-directed-edge bool array."""
     return segment_count(flags, starts) > 0
+
+
+def segment_sort(segments: Any, *keys: Any) -> Any:
+    """Permutation sorting lexicographically by ``(segments, keys[0], ...)``.
+
+    The general tool for per-node *set* checks: apply the returned index
+    array to ``segments`` and every parallel value array, and each segment
+    becomes a contiguous block whose elements are ordered by the keys —
+    adjacent-element comparisons then implement per-segment dedup,
+    uniqueness, and chain conditions without any Python loop.  When the sort
+    key is a single value with a known bound (the planarity kernel's
+    ``G_{T,f}`` indices are below ``2**32``), packing ``segment * bound +
+    key`` into one int64 and using a plain ``np.argsort`` computes the same
+    permutation faster — see docs/KERNELS.md.
+    """
+    return np.lexsort(tuple(reversed(keys)) + (segments,))
+
+
+def segment_rank(sorted_segments: Any) -> Any:
+    """0-based rank of every element within its segment run.
+
+    ``sorted_segments`` must already be segment-contiguous (e.g. the segment
+    array permuted by :func:`segment_sort`); the ranks restart at 0 at every
+    segment boundary, which is what aligns the k-th sorted item of a segment
+    with the k-th slot of a parallel per-segment structure.
+    """
+    count = len(sorted_segments)
+    positions = np.arange(count, dtype=np.int64)
+    if count == 0:
+        return positions
+    is_start = np.empty(count, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = sorted_segments[1:] != sorted_segments[:-1]
+    return positions - np.maximum.accumulate(np.where(is_start, positions, 0))
 
 
 def scatter_any(flags: Any, index: Any, n: int) -> Any:
@@ -245,6 +282,7 @@ class TreeKernel:
     """Bulk verifier of :class:`~repro.core.building_blocks.TreeScheme`."""
 
     scheme_name = TreeScheme.name
+    coverage = "full"
 
     def supports(self, scheme: Any) -> bool:
         return type(scheme) is TreeScheme and scheme.verification_radius == 1
@@ -270,6 +308,7 @@ class PathGraphKernel:
     """Bulk verifier of :class:`~repro.core.building_blocks.PathGraphScheme`."""
 
     scheme_name = PathGraphScheme.name
+    coverage = "full"
 
     def supports(self, scheme: Any) -> bool:
         return type(scheme) is PathGraphScheme and scheme.verification_radius == 1

@@ -139,6 +139,26 @@ class TestKuratowski:
         assert not subdivision.subgraph.has_node("isolated")
         assert not subdivision.subgraph.has_node("pendant")
 
+    def test_divide_and_conquer_minimises_general_inputs(self):
+        """Non-witness-shaped inputs (a planar graph plus a few crossing
+        edges) go through the divide-and-conquer minimiser; the result must
+        still be a genuine, edge-minimal subdivision of the host graph."""
+        from repro.graphs.generators import planar_plus_random_edges
+        from repro.graphs.kuratowski import _as_subdivision
+
+        for seed in (0, 1, 2):
+            graph = planar_plus_random_edges(150, extra_edges=3, seed=seed)
+            subdivision = find_kuratowski_subdivision(graph)
+            # the structural validator accepts the witness as-is
+            assert _as_subdivision(subdivision.subgraph.copy()) is not None
+            for u, v in subdivision.subgraph.edges():
+                assert graph.has_edge(u, v)
+            # edge-minimal: removing any single edge restores planarity
+            for u, v in list(subdivision.subgraph.edges()):
+                probe = subdivision.subgraph.copy()
+                probe.remove_edge(u, v)
+                assert is_planar(probe)
+
     @pytest.mark.parametrize("generator,kind", [
         (k5_subdivision, "K5"),
         (k33_subdivision, "K3,3"),

@@ -149,28 +149,40 @@ class TestRegistryBehaviour:
     def test_backend_support_matrix_matches_architecture_docs(self):
         """The backend-support matrix in docs/ARCHITECTURE.md is the
         documented contract; it must agree with ``default_registry()`` —
-        scheme set, kinds, kernel classes, and the kind→runtime mapping."""
+        scheme set, kinds, kernel classes, the kind→runtime mapping, and
+        each kernel's declared coverage level."""
         pytest.importorskip("numpy")
         docs = Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
         rows = re.findall(
-            r"^\| `([\w-]+)` \| (\w+) \| (?:`(\w+)`|—) \| `engine\.(\w+)` \|",
+            r"^\| `([\w-]+)` \| (\w+) \| (?:`(\w+)`|—) \| `engine\.(\w+)` \| (\w+)",
             docs.read_text(), flags=re.MULTILINE)
-        documented = {name: (kind, kernel or None, runtime)
-                      for name, kind, kernel, runtime in rows}
+        documented = {name: (kind, kernel or None, runtime, coverage)
+                      for name, kind, kernel, runtime, coverage in rows}
         registry = default_registry()
         assert set(documented) == set(registry.names())
         from repro.distributed.engine import SimulationEngine
 
         expected_runtime = {"pls": "verify", "interactive": "run_interactive"}
-        for name, (kind, kernel_class, runtime) in documented.items():
+        for name, (kind, kernel_class, runtime, coverage) in documented.items():
             assert registry.entry(name).kind == kind
             assert runtime == expected_runtime[kind]
             assert callable(getattr(SimulationEngine, runtime))
             kernel = registry.kernel(name)
             if kernel_class is None:
                 assert kernel is None
+                assert coverage == "reference"  # "reference wholesale"
+                assert registry.kernel_coverage(name) is None
             else:
                 assert type(kernel).__name__ == kernel_class
+                # the coverage cell's leading word is the kernel's contract
+                assert coverage == registry.kernel_coverage(name)
+                assert coverage == getattr(kernel, "coverage", "full")
+
+    def test_planarity_kernel_is_full_coverage(self):
+        """PR 5's contract flip, pinned: the planarity kernel is a full
+        kernel, not a prefilter."""
+        pytest.importorskip("numpy")
+        assert default_registry().kernel_coverage("planarity-pls") == "full"
 
     def test_explicit_description_skips_factory_call(self):
         calls = []
