@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import os
 import platform
+import subprocess
+from pathlib import Path
 from typing import Any
 
 from repro.analysis.tables import format_table
@@ -30,18 +32,44 @@ def emit(rows, title: str) -> None:
     print(format_table(rows, title=title))
 
 
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+def _git_commit() -> str | None:
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
 def provenance(workers: int | None = None) -> dict[str, Any]:
     """Describe the machine and interpreter a benchmark payload was measured on.
 
     ``workers`` records the process-pool width the benchmark used (when it
     used one); reading it next to ``cpu_count`` tells a reader whether a
-    pooled row could possibly have shown a speedup on this box.
+    pooled row could possibly have shown a speedup on this box.  The numpy
+    version and the git commit the numbers were measured at (``None`` when
+    unavailable, e.g. outside a checkout) make the committed ``BENCH_*.json``
+    payloads attributable to an exact kernel implementation.
     """
     info: dict[str, Any] = {
         "python_version": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "numpy_version": _numpy_version(),
+        "git_commit": _git_commit(),
     }
     if workers is not None:
         info["workers"] = workers

@@ -21,14 +21,25 @@ sections:
 * **planarity-shuffle** — donor-pool shuffle attacks on non-planar
   siblings: nodes die in the spanning-tree phase, where the reference
   verifier is also cheap, so this section tracks the kernel's early-exit
-  overhead rather than a headline win.
+  overhead rather than a headline win;
+* **attack-nonplanarity / attack-universal / attack-outerplanar** — the
+  PR-6 batched-sweep targets: the soundness-experiment inner-loop shape
+  (small instances, hundreds of corrupted assignments per network), where
+  per-call dispatch dominates the per-trial kernel work and
+  ``count_accepting_batch`` turns a whole sweep into one compile plus a
+  couple of kernel invocations.
 
 Every section runs the same instances, assignments, and RNG streams through
 the *same* :class:`~repro.distributed.engine.SimulationEngine` machinery
-twice — ``backend="reference"`` (cached structural views, one Python verifier
-call per node) and ``backend="vectorized"`` — asserts per-node decisions and
-accept counts match exactly, and records per-section wall-clock, speedups,
-and the vectorized path's coverage counters
+three times — ``backend="reference"`` (cached structural views, one Python
+verifier call per node), ``backend="vectorized"`` (one kernel invocation per
+``verify``/``count_accepting`` call), and the PR-6 *batched sweep* path
+(:meth:`~repro.distributed.engine.SimulationEngine.verify_batch` /
+``count_accepting_batch``: all of a section's networks and assignments
+concatenated into one super-CSR, a handful of kernel invocations per
+section) — asserts per-node decisions and accept counts match exactly
+across all three, and records per-section wall-clock, speedups, and the
+vectorized path's coverage counters
 (:attr:`~repro.distributed.engine.SimulationEngine.backend_counters`) in
 ``BENCH_vectorized.json``.
 
@@ -49,6 +60,7 @@ from pathlib import Path
 from typing import Any
 
 from bench_common import provenance
+from repro.core import PathOuterplanarScheme, random_path_outerplanar_graph
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
 from repro.distributed.registry import default_registry
@@ -65,9 +77,11 @@ SEED = 2020  # PODC 2020
 FULL_SIZES = [300, 1000, 3000]
 FULL_PLANARITY_SIZES = [300, 1000, 2000]
 FULL_TRIALS = 40
+FULL_ATTACK_TRIALS = 250
 QUICK_SIZES = [120, 300]
 QUICK_PLANARITY_SIZES = [120, 300]
 QUICK_TRIALS = 8
+QUICK_ATTACK_TRIALS = 40
 
 
 def corrupted_assignment(honest: dict, nodes: list, rng: random.Random) -> dict:
@@ -147,6 +161,62 @@ def _leg(section: str, scheme_name: str, scheme, network, honest, batch) -> dict
     return {"section": section, "scheme": scheme, "scheme_name": scheme_name,
             "n": network.size, "network": network, "honest": honest,
             "batch": batch}
+
+
+def build_attack_sweeps(attack_trials: int) -> list[dict[str, Any]]:
+    """The soundness-experiment inner-loop legs the batched API targets.
+
+    Small networks, hundreds of corrupted assignments each: the per-trial
+    kernel work is tiny, so per-call engine dispatch (certificate-table
+    build, kernel invocation, result unpacking) dominates the per-call
+    vectorized path, and staging the whole sweep as one super-CSR batch is
+    where ``count_accepting_batch`` earns its headline speedup.
+    """
+    registry = default_registry()
+    legs = []
+
+    # non-planarity: Kuratowski witnesses a few dozen nodes wide, the shape
+    # the paper's soundness experiments corrupt hundreds of times over
+    nps = registry.create("non-planarity-pls")
+    for subdivisions in (4, 8):
+        graph = k5_subdivision(subdivisions, seed=SEED + subdivisions)
+        network = Network(graph, seed=SEED + subdivisions)
+        honest = nps.prove(network)
+        nodes = list(honest)
+        rng = random.Random(SEED * 43 + subdivisions)
+        batch = [corrupted_assignment(honest, nodes, rng)
+                 for _ in range(attack_trials)]
+        legs.append(_leg("attack-nonplanarity", "non-planarity-pls", nps,
+                         network, honest, batch))
+
+    # universal map scheme on small triangulations
+    ums = registry.create("universal-map-pls")
+    for n in (30, 60):
+        graph = delaunay_planar_graph(n, seed=SEED + n)
+        network = Network(graph, seed=SEED + n)
+        honest = ums.prove(network)
+        nodes = list(honest)
+        rng = random.Random(SEED * 47 + n)
+        batch = [corrupted_assignment(honest, nodes, rng)
+                 for _ in range(attack_trials)]
+        legs.append(_leg("attack-universal", "universal-map-pls", ums,
+                         network, honest, batch))
+
+    # path-outerplanarity with explicit witnesses (the witness is
+    # prover-side only, so verification — and the kernel — are shared
+    # across the per-network scheme instances)
+    for n in (40, 80):
+        graph, witness = random_path_outerplanar_graph(n, seed=SEED + n)
+        pos = PathOuterplanarScheme(witness=witness)
+        network = Network(graph, seed=SEED + n)
+        honest = pos.prove(network)
+        nodes = list(honest)
+        rng = random.Random(SEED * 53 + n)
+        batch = [corrupted_assignment(honest, nodes, rng)
+                 for _ in range(attack_trials)]
+        legs.append(_leg("attack-outerplanar", "path-outerplanarity-pls", pos,
+                         network, honest, batch))
+    return legs
 
 
 def build_sweep(sizes: list[int], planarity_sizes: list[int],
@@ -252,6 +322,58 @@ def run_sweep(legs: list[dict[str, Any]],
     return outcomes, seconds, counters
 
 
+def run_batched_sweep(legs: list[dict[str, Any]],
+                      ) -> tuple[list[Any], dict[str, float], dict[str, dict[str, int]]]:
+    """Run the sweep through ``verify_batch`` / ``count_accepting_batch``.
+
+    Legs are grouped by ``(section, scheme_name)`` and each group is staged
+    as *one* batch: every honest assignment through a single
+    :meth:`~repro.distributed.engine.SimulationEngine.verify_batch` call and
+    every corrupted/forged assignment through a single
+    ``count_accepting_batch`` call, so a whole section costs a couple of
+    kernel invocations instead of one per trial.  Outcomes are unflattened
+    back into the per-leg layout of :func:`run_sweep` so the three passes
+    compare with ``==``.
+    """
+    engine = SimulationEngine(seed=SEED, backend="vectorized")
+    outcomes: list[Any] = [None] * len(legs)
+    seconds: dict[str, float] = {}
+    counters: dict[str, dict[str, int]] = {}
+    groups: dict[tuple[str, str], list[int]] = {}
+    for index, leg in enumerate(legs):
+        groups.setdefault((leg["section"], leg["scheme_name"]), []).append(index)
+    for (section, _scheme_name), indices in groups.items():
+        scheme = legs[indices[0]]["scheme"]
+        engine.reset_backend_counters()
+        start = time.perf_counter()
+        verify_items = [(legs[i]["network"], legs[i]["honest"])
+                        for i in indices if legs[i]["honest"] is not None]
+        results = iter(engine.verify_batch(scheme, verify_items)
+                       if verify_items else [])
+        count_items = [(legs[i]["network"], certificates)
+                       for i in indices for certificates in legs[i]["batch"]]
+        counts = engine.count_accepting_batch(scheme, count_items)
+        position = 0
+        for i in indices:
+            leg = legs[i]
+            decisions = None
+            if leg["honest"] is not None:
+                network = leg["network"]
+                result = next(results)
+                decisions = [[network.id_of(node), accepted]
+                             for node, accepted in result.decisions.items()]
+            leg_counts = counts[position:position + len(leg["batch"])]
+            position += len(leg["batch"])
+            outcomes[i] = [leg["scheme_name"], leg["n"], decisions, leg_counts]
+        seconds[section] = seconds.get(section, 0.0) \
+            + time.perf_counter() - start
+        section_counters = counters.setdefault(
+            section, dict.fromkeys(_COUNTER_KEYS, 0))
+        for key, value in engine.backend_counters.items():
+            section_counters[key] += value
+    return outcomes, seconds, counters
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -263,10 +385,13 @@ def main() -> None:
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
     planarity_sizes = QUICK_PLANARITY_SIZES if args.quick else FULL_PLANARITY_SIZES
     trials = QUICK_TRIALS if args.quick else FULL_TRIALS
+    attack_trials = QUICK_ATTACK_TRIALS if args.quick else FULL_ATTACK_TRIALS
 
     print(f"building sweep instances (sizes={sizes}, "
-          f"planarity_sizes={planarity_sizes}, trials={trials}) ...")
-    legs = build_sweep(sizes, planarity_sizes, trials)
+          f"planarity_sizes={planarity_sizes}, trials={trials}, "
+          f"attack_trials={attack_trials}) ...")
+    legs = build_sweep(sizes, planarity_sizes, trials) \
+        + build_attack_sweeps(attack_trials)
 
     print("running engine, reference backend ...")
     reference_outcomes, reference_seconds, _ = run_sweep(legs, "reference")
@@ -274,34 +399,84 @@ def main() -> None:
     print("running engine, vectorized backend ...")
     vectorized_outcomes, vectorized_seconds, counters = run_sweep(legs, "vectorized")
     print(f"  {sum(vectorized_seconds.values()):.2f}s")
+    print("running engine, batched sweeps ...")
+    batched_outcomes, batched_seconds, batched_counters = run_batched_sweep(legs)
+    print(f"  {sum(batched_seconds.values()):.2f}s")
 
-    identical = reference_outcomes == vectorized_outcomes
+    identical = (reference_outcomes == vectorized_outcomes
+                 and reference_outcomes == batched_outcomes)
     sections = {}
     for section in reference_seconds:
         ref, vec = reference_seconds[section], vectorized_seconds[section]
+        bat = batched_seconds[section]
         sections[section] = {
             "reference_seconds": round(ref, 3),
             "vectorized_seconds": round(vec, 3),
             "speedup": round(ref / vec, 2) if vec else float("inf"),
             **counters[section],
+            "batched_seconds": round(bat, 3),
+            "batched_speedup_vs_vectorized":
+                round(vec / bat, 2) if bat else float("inf"),
+            "batched": batched_counters[section],
         }
         print(f"  {section:22s} reference {ref:6.2f}s  vectorized {vec:6.2f}s  "
+              f"batched {bat:6.2f}s  "
               f"speedup {sections[section]['speedup']:.2f}x  "
+              f"batched/vectorized "
+              f"{sections[section]['batched_speedup_vs_vectorized']:.2f}x  "
+              f"kernel_calls {batched_counters[section]['kernel_calls']}  "
               f"fallback_nodes {counters[section]['fallback_nodes']}")
     total_ref = sum(reference_seconds.values())
     total_vec = sum(vectorized_seconds.values())
+    total_bat = sum(batched_seconds.values())
     speedup = total_ref / total_vec if total_vec else float("inf")
-    print(f"outcomes identical: {identical}; overall speedup: {speedup:.2f}x")
+    batched_speedup = total_vec / total_bat if total_bat else float("inf")
+    print(f"outcomes identical: {identical}; overall speedup: {speedup:.2f}x; "
+          f"batched over per-call vectorized: {batched_speedup:.2f}x")
     if not identical:
         raise SystemExit("vectorized outcomes diverge from the reference backend")
     # coverage gate (CI runs this in --quick mode): the planarity kernel is
     # full — its accept-heavy batch must be decided entirely in array form,
-    # so any prefilter regression fails fast instead of reverting to parity
+    # so any prefilter regression fails fast instead of reverting to parity.
+    # The batched path must additionally stage each section-group as one
+    # super-CSR batch: a handful of kernel invocations per section, never
+    # one per trial, and never a per-item peel on representable sweeps.
     for section in ("planarity", "planarity-adversarial", "planarity-shuffle"):
         if counters[section]["fallback_nodes"] or counters[section]["fallback_networks"]:
             raise SystemExit(
                 f"planarity kernel coverage regression: section {section!r} "
                 f"took a fallback ({counters[section]})")
+        if (batched_counters[section]["fallback_nodes"]
+                or batched_counters[section]["fallback_networks"]):
+            raise SystemExit(
+                f"batched sweep coverage regression: section {section!r} "
+                f"took a fallback ({batched_counters[section]})")
+    # the attack sweeps run full-coverage kernels on representable
+    # certificates: they must never peel an item to the reference path
+    for section in ("attack-nonplanarity", "attack-universal",
+                    "attack-outerplanar"):
+        if (batched_counters[section]["fallback_nodes"]
+                or batched_counters[section]["fallback_networks"]):
+            raise SystemExit(
+                f"batched sweep coverage regression: section {section!r} "
+                f"took a fallback ({batched_counters[section]})")
+    for section, section_counters in batched_counters.items():
+        if section_counters["kernel_calls"] >= 10:
+            raise SystemExit(
+                f"batched sweep regression: section {section!r} took "
+                f"{section_counters['kernel_calls']} kernel calls "
+                "(expected single digits per sweep)")
+    # PR-6 acceptance: the batched path must beat per-call vectorized by
+    # >= 2x on at least two sections (the attack sweeps are built to be
+    # exactly that shape).  Wall-clock on shared CI boxes is noisy, so the
+    # gate only runs on the full-size sweep.
+    if not args.quick:
+        twice = [section for section, payload in sections.items()
+                 if payload["batched_speedup_vs_vectorized"] >= 2.0]
+        if len(twice) < 2:
+            raise SystemExit(
+                "batched sweep performance regression: expected >= 2 "
+                f"sections at >= 2x over per-call vectorized, got {twice}")
 
     summary = [[o[0], o[1],
                 None if o[2] is None else sum(d for _, d in o[2]),
@@ -314,10 +489,13 @@ def main() -> None:
         "quick": args.quick,
         "provenance": provenance(),
         "sweep": {"sizes": sizes, "planarity_sizes": planarity_sizes,
-                  "corrupted_assignments_per_instance": trials},
+                  "corrupted_assignments_per_instance": trials,
+                  "attack_assignments_per_instance": attack_trials},
         "reference_seconds": round(total_ref, 3),
         "vectorized_seconds": round(total_vec, 3),
         "speedup": round(speedup, 2),
+        "batched_seconds": round(total_bat, 3),
+        "batched_speedup_vs_vectorized": round(batched_speedup, 2),
         "sections": sections,
         "outcomes_identical": identical,
         # scheme, n, accepting nodes (honest; None for attack-only legs),

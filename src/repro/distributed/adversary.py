@@ -17,6 +17,14 @@ the verifier in three complementary ways:
 
 Each attack returns the best (most-accepting) assignment found and the number
 of nodes it convinced; a sound scheme never reaches "all nodes accept".
+
+When an ``engine`` is supplied, the attacks stage their candidate assignments
+in chunks and rank each chunk with one
+:meth:`~repro.distributed.engine.SimulationEngine.count_accepting_batch`
+call, so a whole attack costs a handful of kernel invocations under the
+vectorized backend instead of one per trial.  The chunk results are walked in
+trial order with the same early-exit rule as the serial loop, so the returned
+:class:`AttackResult` is identical either way.
 """
 
 from __future__ import annotations
@@ -77,6 +85,22 @@ def _evaluate(scheme: ProofLabelingScheme, network: Network,
     return sum(1 for accepted in result.decisions.values() if accepted)
 
 
+#: trial assignments evaluated per batched call (large enough to amortise
+#: the kernel invocation, small enough that the early exit at ``best == n``
+#: never wastes more than one chunk of generated assignments)
+_CHUNK_TRIALS = 16
+
+
+def _evaluate_many(scheme: ProofLabelingScheme, network: Network,
+                   assignments: Sequence[dict[Node, Any]],
+                   engine: "SimulationEngine | None" = None) -> list[int]:
+    """Accepting-node counts of several assignments over the same network."""
+    if engine is not None:
+        return engine.count_accepting_batch(
+            scheme, [(network, certificates) for certificates in assignments])
+    return [_evaluate(scheme, network, certificates) for certificates in assignments]
+
+
 def random_certificate_attack(scheme: ProofLabelingScheme, network: Network,
                               certificate_factory: Callable[[random.Random, Network, Node], Any],
                               trials: int = 50, seed: int | None = None,
@@ -94,12 +118,16 @@ def random_certificate_attack(scheme: ProofLabelingScheme, network: Network,
         rng = random.Random(seed)
     best = 0
     n = network.size
-    for _ in range(trials):
-        certificates = {node: certificate_factory(rng, network, node)
-                        for node in network.nodes()}
-        best = max(best, _evaluate(scheme, network, certificates, engine))
-        if best == n:
-            break
+    remaining = trials
+    while remaining > 0 and best < n:
+        chunk = min(_CHUNK_TRIALS, remaining)
+        assignments = [{node: certificate_factory(rng, network, node)
+                        for node in network.nodes()} for _ in range(chunk)]
+        for count in _evaluate_many(scheme, network, assignments, engine):
+            best = max(best, count)
+            if best == n:
+                break
+        remaining -= chunk
     return AttackResult(scheme_name=scheme.name, attack_name="random",
                         trials=trials, best_accepting_nodes=best,
                         total_nodes=n, fooled=best == n)
@@ -126,12 +154,20 @@ def transplant_attack(scheme: ProofLabelingScheme, network: Network,
     best = _evaluate(scheme, network, certificates, engine)
     performed = 1
     if mutate is not None:
-        for _ in range(trials - 1):
-            mutated = {node: mutate(rng, cert) for node, cert in certificates.items()}
-            best = max(best, _evaluate(scheme, network, mutated, engine))
-            performed += 1
-            if best == n:
-                break
+        remaining = trials - 1
+        stop = False
+        while remaining > 0 and not stop:
+            chunk = min(_CHUNK_TRIALS, remaining)
+            assignments = [{node: mutate(rng, cert)
+                            for node, cert in certificates.items()}
+                           for _ in range(chunk)]
+            for count in _evaluate_many(scheme, network, assignments, engine):
+                best = max(best, count)
+                performed += 1
+                if best == n:
+                    stop = True
+                    break
+            remaining -= chunk
     return AttackResult(scheme_name=scheme.name, attack_name="transplant",
                         trials=performed, best_accepting_nodes=best,
                         total_nodes=n, fooled=best == n)
@@ -155,12 +191,19 @@ def exhaustive_attack(scheme: ProofLabelingScheme, network: Network,
             f"exhaustive attack would need {total} assignments (> {max_assignments})")
     best = 0
     count = 0
-    for combo in itertools.product(certificate_universe, repeat=n):
-        count += 1
-        certificates = dict(zip(nodes, combo))
-        best = max(best, _evaluate(scheme, network, certificates, engine))
-        if best == n:
+    combos = itertools.product(certificate_universe, repeat=n)
+    stop = False
+    while not stop:
+        batch = list(itertools.islice(combos, _CHUNK_TRIALS))
+        if not batch:
             break
+        assignments = [dict(zip(nodes, combo)) for combo in batch]
+        for accepting in _evaluate_many(scheme, network, assignments, engine):
+            count += 1
+            best = max(best, accepting)
+            if best == n:
+                stop = True
+                break
     return AttackResult(scheme_name=scheme.name, attack_name="exhaustive",
                         trials=count, best_accepting_nodes=best,
                         total_nodes=n, fooled=best == n)

@@ -52,7 +52,18 @@ certificate assignment out of the per-trial loop:
   compiler refuses (n < 2, oversized identifiers, numpy missing) run the
   reference path wholesale, and individual nodes that can see a certificate
   the array form cannot represent exactly are re-decided by the reference
-  verifier.
+  verifier;
+* **batched sweeps** — :meth:`verify_batch` and :meth:`count_accepting_batch`
+  take a whole list of ``(network, certificates)`` items and decide them with
+  *one* kernel invocation over a
+  :class:`~repro.vectorized.compiler.BatchedContext` super-CSR (cached per
+  network tuple), so a sweep or attack loop pays one compile and one array
+  pass per phase instead of one per item; items the batch cannot represent
+  (refused networks, no kernel) peel off to the per-item path, and flagged
+  nodes fall back per item exactly as in :meth:`verify`.  The interactive
+  analogue compiles the challenge-independent prepared states once
+  (:class:`~repro.vectorized.scheme_kernels.DMAMRoundKernel`) and runs every
+  challenge draw of :meth:`estimate_soundness_error` as an array round.
 
 The engine is behaviour-preserving: :meth:`verify` returns a
 :class:`~repro.distributed.verifier.VerificationResult` equal field-for-field
@@ -87,11 +98,39 @@ __all__ = ["SimulationEngine", "NodeStructure", "InteractiveSoundnessEstimate",
 BACKENDS = ("reference", "vectorized")
 
 
+#: nodes per batched super-CSR chunk when the kernel does not declare its
+#: own ``batch_node_budget``.  The cap trades kernel-invocation count
+#: against cache residency: chunks of this size keep a typical kernel's
+#: intermediate arrays inside the last-level cache on commodity cores,
+#: while still amortising per-call dispatch over hundreds of small
+#: networks.  Kernels with unusually large per-node working sets (the
+#: planarity kernel's visibility join) declare a smaller budget.
+_DEFAULT_BATCH_NODE_BUDGET = 1 << 16
+
+
 def derive_seed(seed: int | None, index: int) -> int | None:
     """Derive a deterministic per-trial seed from a root seed and a trial index."""
     if seed is None:
         return None
     return (seed * 1_000_003 + index * 7_919 + 12_345) % (1 << 63)
+
+
+def _merged_certificates(assignments: Sequence[dict[Node, Any]]) -> dict:
+    """Composite-key view over the per-item certificate assignments.
+
+    A :class:`~repro.vectorized.compiler.BatchedContext` labels node ``i``
+    with ``(item_index, label)``; the certificate compiler and the kernels
+    only ever call ``certificates.get(label)`` with those labels, so one
+    merged ``(item_index, label) -> certificate`` dictionary is the whole
+    batched-assignment story.  A real dict (rather than a ``get`` shim over
+    the per-item dictionaries) keeps the compiler's per-label lookup a
+    C-level call — the compile loop is the per-trial floor of the batched
+    path, so a Python frame per label would cost more than the merge."""
+    merged: dict = {}
+    for item, certificates in enumerate(assignments):
+        for label, certificate in certificates.items():
+            merged[(item, label)] = certificate
+    return merged
 
 
 @dataclass(frozen=True)
@@ -198,6 +237,13 @@ class SimulationEngine:
         # compiled VectorContext (or None for refused networks) per network:
         # id(network) -> VectorContext | None
         self._vector_contexts: dict[int, Any] = {}
+        # bounded LRU of batched super-CSRs, keyed by the tuple of member
+        # network keys (a batch is only reusable for the exact same item list)
+        self._batched_contexts: OrderedDict[tuple[int, ...], Any] = OrderedDict()
+        # compiled dMAM prepared states: id(network) -> (prepared, compiled);
+        # validated by identity against the caller's prepared list, so a new
+        # first turn (new prepared states) recompiles automatically
+        self._dmam_compiled: dict[int, tuple[Any, Any]] = {}
         # graph mutation counter observed when a network's caches were built:
         # id(network) -> Graph._version
         self._versions: dict[int, int] = {}
@@ -228,6 +274,10 @@ class SimulationEngine:
         self._stats_cache.pop(key, None)
         self._first_turns.pop(key, None)
         self._vector_contexts.pop(key, None)
+        self._dmam_compiled.pop(key, None)
+        if self._batched_contexts:
+            for batch_key in [k for k in self._batched_contexts if key in k]:
+                del self._batched_contexts[batch_key]
         if not keep_tracking:
             self._versions.pop(key, None)
             self._finalizers.pop(key, None)
@@ -237,6 +287,8 @@ class SimulationEngine:
         for key in list(self._versions):
             self._drop_network(key)
         self._networks.clear()
+        self._batched_contexts.clear()
+        self._dmam_compiled.clear()
         # remaining finalizers (schemes, untracked stragglers) go wholesale
         self._finalizers.clear()
 
@@ -445,6 +497,167 @@ class SimulationEngine:
                 accept[i] = bool(verify(view(structures[i], certificates, 1)))
         return accept
 
+    #: batched super-CSRs kept alive at once (a sweep reuses one batch per
+    #: (section, scheme) item tuple, so a handful covers every benchmark)
+    _BATCH_CACHE_SIZE = 8
+
+    def _batched_context(self, networks: Sequence[Network]) -> Any | None:
+        """Cached :class:`BatchedContext` over ``networks`` (exact tuple match).
+
+        Keyed by the member network keys, so graph mutation or eviction of
+        any member invalidates the batch through :meth:`_drop_network`.
+        """
+        key = tuple(self._network_key(network) for network in networks)
+        cached = self._batched_contexts.get(key)
+        if cached is not None:
+            self._batched_contexts.move_to_end(key)
+            return cached
+        from repro.vectorized import build_batched_context
+
+        batched = build_batched_context(
+            [self._vector_context(network) for network in networks])
+        if batched is None:
+            return None
+        self._batched_contexts[key] = batched
+        if len(self._batched_contexts) > self._BATCH_CACHE_SIZE:
+            self._batched_contexts.popitem(last=False)
+        return batched
+
+    def _accept_vector_batch(self, scheme: ProofLabelingScheme,
+                             items: Sequence[tuple[Network, dict[Node, Any]]],
+                             backend: str | None) -> list[Any]:
+        """Per-item accept vectors for a whole sweep, batch-compiled.
+
+        Returns one entry per item: an accept vector (exact, fallback nodes
+        already re-decided) or ``None`` for items the vectorized path cannot
+        serve — the caller runs those through the per-item methods, which do
+        their own coverage accounting.  Representable items are concatenated
+        into a handful of :class:`BatchedContext` super-CSR chunks, so a
+        sweep costs one kernel invocation per chunk instead of one per item.
+        Chunks are bounded by the kernel's ``batch_node_budget`` (default
+        :data:`_DEFAULT_BATCH_NODE_BUDGET`), never the compiler's ``2**31``
+        composite-key bound alone: a kernel's per-node working set is what
+        decides when a concatenated batch falls out of cache, so heavy
+        kernels declare a smaller budget and stay at a few kernel calls per
+        sweep instead of one giant memory-bound pass.
+        """
+        results: list[Any] = [None] * len(items)
+        if self._resolve_backend(backend) != "vectorized":
+            return results
+        if scheme.verification_radius != 1:
+            return results
+        kernel = self._kernel_for(scheme)
+        if kernel is None:
+            return results
+        from repro.vectorized import INT_LIMIT
+
+        budget = min(INT_LIMIT - 1,
+                     getattr(kernel, "batch_node_budget", None)
+                     or _DEFAULT_BATCH_NODE_BUDGET)
+        usable = [idx for idx, (network, _) in enumerate(items)
+                  if self._vector_context(network) is not None]
+        groups: list[list[int]] = []
+        current: list[int] = []
+        total = 0
+        for idx in usable:
+            n = self._vector_context(items[idx][0]).n
+            if current and total + n > budget:
+                groups.append(current)
+                current, total = [], 0
+            current.append(idx)
+            total += n
+        if current:
+            groups.append(current)
+        for group in groups:
+            if len(group) == 1:
+                idx = group[0]
+                network, certificates = items[idx]
+                results[idx] = self._accept_vector(scheme, network, certificates)
+                continue
+            self._batch_accept_group(scheme, items, group, results)
+        return results
+
+    def _batch_accept_group(self, scheme: ProofLabelingScheme,
+                            items: Sequence[tuple[Network, dict[Node, Any]]],
+                            group: list[int], results: list[Any]) -> None:
+        """Decide one chunk of batch items with a single kernel invocation."""
+        batched = self._batched_context([items[idx][0] for idx in group])
+        if batched is None:  # lost a size race; peel back to per-item calls
+            for idx in group:
+                network, certificates = items[idx]
+                results[idx] = self._accept_vector(scheme, network, certificates)
+            return
+        kernel = self._kernel_for(scheme)
+        certificates = _merged_certificates([items[idx][1] for idx in group])
+        accept, fallback = kernel.accept_vector(batched, scheme, certificates)
+        counters = self._backend_counters
+        counters["kernel_calls"] += 1
+        counters["kernel_nodes"] += batched.n
+        if fallback.any():
+            counters["fallback_nodes"] += int(fallback.sum())
+            verify = scheme.verify
+            view = self._view
+            structures_of: dict[int, list[NodeStructure]] = {}
+            for g in fallback.nonzero()[0]:
+                k = int(batched.network_of[g])
+                local = int(g) - int(batched.node_offsets[k])
+                network, item_certs = items[group[k]]
+                structures = structures_of.get(k)
+                if structures is None:
+                    structures = self.structures(network, 1)
+                    structures_of[k] = structures
+                accept[g] = bool(verify(view(structures[local], item_certs, 1)))
+        offsets = batched.node_offsets
+        for k, idx in enumerate(group):
+            results[idx] = accept[offsets[k]:offsets[k + 1]]
+
+    def verify_batch(self, scheme: ProofLabelingScheme,
+                     network_certificates: Sequence[tuple[Network, dict[Node, Any]]],
+                     backend: str | None = None) -> list[VerificationResult]:
+        """:meth:`verify` over many ``(network, certificates)`` items at once.
+
+        Under the vectorized backend the representable items are decided with
+        one kernel invocation per batch chunk (see the class docstring);
+        every other item — and every item under the reference backend — runs
+        through :meth:`verify` unchanged.  The returned results are
+        field-for-field identical to calling :meth:`verify` per item, in item
+        order.
+        """
+        items = list(network_certificates)
+        vectors = self._accept_vector_batch(scheme, items, backend)
+        results = []
+        for (network, certificates), accept in zip(items, vectors):
+            if accept is None:
+                results.append(self.verify(scheme, network, certificates,
+                                           backend=backend))
+                continue
+            labels = network.graph.indexed().labels
+            results.append(VerificationResult(
+                scheme_name=scheme.name,
+                decisions={label: bool(accept[i])
+                           for i, label in enumerate(labels)},
+                certificate_bits=self._certificate_stats(network, certificates),
+                verification_radius=scheme.verification_radius,
+            ))
+        return results
+
+    def count_accepting_batch(self, scheme: ProofLabelingScheme,
+                              network_certificates: Sequence[tuple[Network, dict[Node, Any]]],
+                              backend: str | None = None) -> list[int]:
+        """:meth:`count_accepting` over many items, batch-compiled.
+
+        The adversary's chunked inner loop: attacks stage their candidate
+        assignments and rank them from one kernel pass instead of one call
+        per trial.  Decisions (and therefore counts) are identical to the
+        per-item method's.
+        """
+        items = list(network_certificates)
+        vectors = self._accept_vector_batch(scheme, items, backend)
+        return [int(accept.sum()) if accept is not None
+                else self.count_accepting(scheme, network, certificates,
+                                          backend=backend)
+                for (network, certificates), accept in zip(items, vectors)]
+
     def _certificate_stats(self, network: Network,
                            certificates: dict[Node, Any]) -> dict[Node, int]:
         """Encode certificate sizes, cached for prover-produced assignments.
@@ -608,13 +821,23 @@ class SimulationEngine:
                                second: dict[Node, Any],
                                challenges: dict[Node, int],
                                prepared: Sequence[Any] | None = None,
+                               backend: str | None = None,
                                ) -> dict[Node, bool]:
         """Final verification round on cached structures (radius 1).
 
         With ``prepared`` (see :meth:`interactive_prepared`) each node's
         challenge-independent verifier state is reused and only the
-        challenge-dependent half runs.
+        challenge-dependent half runs; under the vectorized backend that
+        half runs as one array pass per challenge draw when the protocol
+        registered a round kernel.
         """
+        if prepared is not None and self._resolve_backend(backend) == "vectorized":
+            accept = self._interactive_accept_round(protocol, network, first,
+                                                    second, challenges, prepared)
+            if accept is not None:
+                labels = network.graph.indexed().labels
+                return {label: bool(accept[i])
+                        for i, label in enumerate(labels)}
         paired = {node: (first.get(node), second.get(node))
                   for node in network.nodes()}
         structures = self.structures(network, 1)
@@ -637,6 +860,53 @@ class SimulationEngine:
                                                 neighbor_challenges))
         return decisions
 
+    def _interactive_accept_round(self, protocol: InteractiveProtocol,
+                                  network: Network, first: dict[Node, Any],
+                                  second: dict[Node, Any],
+                                  challenges: dict[Node, int],
+                                  prepared: Sequence[Any]) -> Any | None:
+        """One challenge draw through the protocol's round kernel, or ``None``.
+
+        The challenge-independent prepared states are compiled to arrays once
+        per ``prepared`` list (identity-cached per network), so each draw
+        costs one :meth:`accept_round` pass; nodes the kernel flags —
+        a second message the column form cannot represent — are re-decided
+        with :meth:`verify_with_state` exactly as the reference loop would.
+        """
+        counters = self._backend_counters
+        kernel = self._kernel_for(protocol)
+        if kernel is None or not hasattr(kernel, "accept_round"):
+            counters["fallback_networks"] += 1
+            return None
+        ctx = self._vector_context(network)
+        if ctx is None:
+            counters["fallback_networks"] += 1
+            return None
+        key = self._network_key(network)
+        entry = self._dmam_compiled.get(key)
+        if entry is not None and entry[0] is prepared:
+            compiled = entry[1]
+        else:
+            compiled = kernel.compile_prepared(ctx, prepared)
+            self._dmam_compiled[key] = (prepared, compiled)
+        accept, fallback = kernel.accept_round(ctx, compiled, second, challenges)
+        counters["kernel_calls"] += 1
+        counters["kernel_nodes"] += ctx.n
+        if fallback.any():
+            counters["fallback_nodes"] += int(fallback.sum())
+            paired = {node: (first.get(node), second.get(node))
+                      for node in network.nodes()}
+            structures = self.structures(network, 1)
+            finish = protocol.verify_with_state
+            for i in fallback.nonzero()[0]:
+                s = structures[i]
+                view = assemble_view(s, paired, 1)
+                neighbor_challenges = {vid: challenges[v] for vid, v in
+                                       zip(s.visible_ids[1:], s.visible_nodes[1:])}
+                accept[i] = bool(finish(prepared[i], view, challenges[s.node],
+                                        neighbor_challenges))
+        return accept
+
     def interactive_prepared(self, protocol: InteractiveProtocol,
                              network: Network,
                              first: dict[Node, Any]) -> list[Any]:
@@ -655,17 +925,21 @@ class SimulationEngine:
                                     network: Network, first: dict[Node, Any],
                                     second: dict[Node, Any],
                                     challenges: dict[Node, int],
-                                    prepared: Sequence[Any] | None = None) -> int:
+                                    prepared: Sequence[Any] | None = None,
+                                    backend: str | None = None) -> int:
         """Decision-only interactive round: how many nodes accept.
 
         The interactive analogue of :meth:`count_accepting` — soundness
         estimation only ranks challenge draws by the number of convinced
         nodes, so the transcript bundling of :meth:`run_interactive` would be
-        pure overhead here.
+        pure overhead here.  ``backend`` behaves as in :meth:`verify`; with
+        ``prepared`` the vectorized backend serves each draw from the
+        protocol's round kernel.
         """
         return sum(self._interactive_decisions(protocol, network, first,
                                                second, challenges,
-                                               prepared=prepared).values())
+                                               prepared=prepared,
+                                               backend=backend).values())
 
     def estimate_soundness_error(self, protocol: InteractiveProtocol,
                                  network: Network, trials: int,

@@ -113,13 +113,22 @@ class SchemeRegistry:
         """Attach a vectorized kernel to the scheme registered under ``name``.
 
         The scheme must already be registered (a kernel is an accelerator of
-        an existing verifier, never a scheme of its own).  Registering a
-        second kernel for the same name raises
-        :class:`~repro.exceptions.RegistryError` unless ``replace`` is True.
+        an existing verifier, never a scheme of its own), and the kernel must
+        declare its ``coverage`` contract explicitly (see
+        :meth:`kernel_coverage`) — an undeclared contract used to silently
+        read as ``"full"``, which is exactly the claim a kernel author must
+        not make by accident.  Registering a second kernel for the same name
+        raises :class:`~repro.exceptions.RegistryError` unless ``replace`` is
+        True.
         """
         if name not in self._entries:
             raise RegistryError(
                 f"cannot register a kernel for unknown scheme {name!r}")
+        coverage = getattr(kernel, "coverage", None)
+        if not isinstance(coverage, str) or not coverage:
+            raise RegistryError(
+                f"kernel for {name!r} must declare a non-empty `coverage` "
+                "attribute (e.g. \"full\", \"prefilter\", or \"round\")")
         if not replace and name in self._kernels:
             raise RegistryError(f"scheme {name!r} already has a kernel")
         self._kernels[name] = kernel
@@ -157,15 +166,18 @@ class SchemeRegistry:
         ``"full"`` — the kernel decides every phase in array form (both
         acceptance and rejection are final, fallback only for
         unrepresentable certificates); ``"prefilter"`` — it vectorizes a
-        necessary prefix and flags survivors for per-node fallback.  Kernels
-        declare this on a ``coverage`` attribute (``"full"`` when absent);
-        the backend-support matrix in ``docs/ARCHITECTURE.md`` is asserted
+        necessary prefix and flags survivors for per-node fallback;
+        ``"round"`` — an interactive protocol's challenge-dependent
+        verification round runs in array form over precompiled prepared
+        states.  Kernels declare this on a ``coverage`` attribute
+        (:meth:`register_kernel` enforces the declaration); the
+        backend-support matrix in ``docs/ARCHITECTURE.md`` is asserted
         against these values by ``tests/test_registry.py``.
         """
         kernel = self._kernels.get(name)
         if kernel is None:
             return None
-        return getattr(kernel, "coverage", "full")
+        return kernel.coverage
 
     # ------------------------------------------------------------------
     def entry(self, name: str) -> RegistryEntry:

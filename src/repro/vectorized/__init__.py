@@ -16,7 +16,9 @@ The subsystem has three layers (documented end to end in
   and assignment → :class:`CertificateTable` (per-field columns, rebuilt per
   trial) or :class:`EdgeListTable` (variable-width per-node lists flattened
   into offsets+values arrays), with an exactness contract that routes
-  unrepresentable certificates back to the reference verifier;
+  unrepresentable certificates back to the reference verifier; many-network
+  *batches* concatenate into a :class:`BatchedContext` super-CSR
+  (:func:`build_batched_context`) that every kernel runs on unchanged;
 * :mod:`repro.vectorized.kernels` — the :class:`VectorizedKernel` protocol,
   the segment-reduction toolkit, the shared spanning-tree and
   Hamiltonian-path sub-checks, and the concrete kernels for ``tree-pls``
@@ -25,6 +27,10 @@ The subsystem has three layers (documented end to end in
   kernels for both ``non-planarity-pls`` and ``planarity-pls`` (every
   Algorithm 2 phase compiled to segmented array passes, fallback reserved
   for unrepresentable certificates);
+* :mod:`repro.vectorized.scheme_kernels` — the remaining rows of the
+  backend-support matrix: full kernels for ``path-outerplanarity-pls``
+  (Algorithm 1) and ``universal-map-pls`` (map interning), and the *round*
+  kernel for the interactive ``planarity-dmam`` verification round;
 * registration — kernels are registered alongside their schemes in
   :func:`repro.distributed.registry.default_registry`; the
   :class:`~repro.distributed.engine.SimulationEngine` selects them with
@@ -41,11 +47,13 @@ from repro.vectorized.compiler import (
     ID_LIMIT,
     INT_LIMIT,
     UNREPRESENTABLE,
+    BatchedContext,
     CertificateTable,
     EdgeListTable,
     FieldSpec,
     IntervalTable,
     VectorContext,
+    build_batched_context,
     build_vector_context,
     compile_certificates,
     compile_edge_lists,
@@ -77,17 +85,28 @@ from repro.vectorized.paper_kernels import (
     NonPlanarityKernel,
     PlanarityKernel,
 )
+from repro.vectorized.scheme_kernels import (
+    DMAM_SECOND_FIELDS,
+    PATH_OUTERPLANAR_FIELDS,
+    CompiledPrepared,
+    DMAMRoundKernel,
+    PathOuterplanarKernel,
+    UniversalMapKernel,
+    mulmod_p61,
+)
 
 __all__ = [
     "HAVE_NUMPY",
     "ID_LIMIT",
     "INT_LIMIT",
     "UNREPRESENTABLE",
+    "BatchedContext",
     "CertificateTable",
     "EdgeListTable",
     "FieldSpec",
     "IntervalTable",
     "VectorContext",
+    "build_batched_context",
     "build_vector_context",
     "compile_certificates",
     "compile_edge_lists",
@@ -114,4 +133,11 @@ __all__ = [
     "PLANARITY_FIELDS",
     "NonPlanarityKernel",
     "PlanarityKernel",
+    "DMAM_SECOND_FIELDS",
+    "PATH_OUTERPLANAR_FIELDS",
+    "CompiledPrepared",
+    "DMAMRoundKernel",
+    "PathOuterplanarKernel",
+    "UniversalMapKernel",
+    "mulmod_p61",
 ]

@@ -50,10 +50,12 @@ __all__ = [
     "UNREPRESENTABLE",
     "FieldSpec",
     "VectorContext",
+    "BatchedContext",
     "CertificateTable",
     "EdgeListTable",
     "IntervalTable",
     "build_vector_context",
+    "build_batched_context",
     "compile_certificates",
     "compile_edge_lists",
 ]
@@ -154,6 +156,21 @@ class VectorContext:
             self._edge_index = cached
         return cached
 
+    def resolve_ids(self, viewers: Any, queries: Any) -> tuple:
+        """Resolve identifier ``queries`` to node indices: ``(nodes, found)``.
+
+        ``viewers`` carries the querying node per entry; a single-network
+        context resolves against its global id table regardless, but the
+        :class:`BatchedContext` override restricts each lookup to the
+        viewer's own network — kernels written against this method work on
+        both context kinds unchanged.  Positions are clamped into range so
+        callers can gather parallel arrays unconditionally.
+        """
+        order, sorted_ids = self.id_index()
+        positions = np.minimum(np.searchsorted(sorted_ids, queries),
+                               len(sorted_ids) - 1)
+        return order[positions], sorted_ids[positions] == queries
+
 
 def build_vector_context(network: "Network") -> VectorContext | None:
     """Compile ``network`` into a :class:`VectorContext`.
@@ -186,6 +203,134 @@ def build_vector_context(network: "Network") -> VectorContext | None:
         src=src,
         dst=indices,
         degrees=degrees,
+    )
+
+
+@dataclass
+class BatchedContext:
+    """Many networks concatenated into one super-CSR (read-only once built).
+
+    The arrays have exactly the :class:`VectorContext` shape — node indices
+    are *global* (network ``k``'s nodes occupy the block
+    ``node_offsets[k]:node_offsets[k + 1]``), ``src`` / ``dst`` are global
+    directed-edge endpoints, and ``labels[i]`` is the composite key
+    ``(item_index, label)`` — so the segment toolkit and every kernel written
+    against per-node/per-edge gathers and segment reductions runs on a batch
+    unchanged: no segment ever spans two networks, and the composite
+    ``viewer * 2**32 + index`` keys the kernels build stay collision-free
+    because :func:`build_batched_context` bounds the total node count by
+    ``2**31``.  Only identifier resolution is network-local, which is what
+    the :meth:`resolve_ids` override restores.
+
+    ``network_of[i]`` is the item index of node ``i``; ``accept[
+    node_offsets[k]:node_offsets[k + 1]]`` slices a batched accept vector
+    back into item ``k``'s per-node decisions.
+    """
+
+    n: int
+    items: int
+    labels: list
+    node_ids: Any
+    indptr: Any
+    starts: Any
+    src: Any
+    dst: Any
+    degrees: Any
+    network_of: Any
+    node_offsets: Any
+    _id_index: Any = None
+    _edge_index: Any = None
+
+    def id_index(self) -> tuple:
+        """``(order, sorted_ids)`` sorted by the (network, identifier) key,
+        so each network's block of :attr:`node_offsets` is internally
+        id-sorted — the layout :meth:`resolve_ids` bisects."""
+        cached = self._id_index
+        if cached is None:
+            order = np.lexsort((self.node_ids, self.network_of))
+            cached = (order, self.node_ids[order])
+            self._id_index = cached
+        return cached
+
+    def edge_index(self) -> tuple:
+        """Same contract as :meth:`VectorContext.edge_index`; the
+        ``src * n + dst`` keys stay unique because the endpoints are global
+        node indices."""
+        cached = self._edge_index
+        if cached is None:
+            keys = self.src * self.n + self.dst
+            order = np.argsort(keys, kind="stable")
+            cached = (order, keys[order])
+            self._edge_index = cached
+        return cached
+
+    def resolve_ids(self, viewers: Any, queries: Any) -> tuple:
+        """Resolve ``queries`` inside each viewer's own network's id block.
+
+        A vectorized lower-bound bisection over the per-network slices of
+        :meth:`id_index` (identifiers can reach ``2**62``, so a composite
+        ``network * stride + id`` search key cannot fit int64); every block
+        is non-empty, and the loop runs ``log2(max block size)`` rounds over
+        the whole query set at once.
+        """
+        order, sorted_ids = self.id_index()
+        net = self.network_of[viewers]
+        lo = self.node_offsets[net].copy()
+        end = self.node_offsets[net + 1]
+        hi = end.copy()
+        top = self.n - 1
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            go_right = active & (sorted_ids[np.minimum(mid, top)] < queries)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+        clamped = np.minimum(lo, top)
+        found = (lo < end) & (sorted_ids[clamped] == queries)
+        return order[clamped], found
+
+
+def build_batched_context(contexts: list) -> BatchedContext | None:
+    """Concatenate per-network :class:`VectorContext` objects into a batch.
+
+    Returns ``None`` when the batch cannot keep the kernels' composite-key
+    arithmetic collision-free — more than ``2**31`` total nodes (the caller
+    splits such sweeps into several batches) — or when numpy is missing.
+    The inputs are not copied lazily: every array is concatenated once here,
+    and the result is cached by the engine keyed on the item networks.
+    """
+    if not HAVE_NUMPY or not contexts:
+        return None
+    sizes = [ctx.n for ctx in contexts]
+    total = sum(sizes)
+    if total >= INT_LIMIT:
+        return None
+    node_offsets = np.zeros(len(contexts) + 1, dtype=np.int64)
+    np.cumsum(np.array(sizes, dtype=np.int64), out=node_offsets[1:])
+    labels: list = []
+    for k, ctx in enumerate(contexts):
+        labels.extend((k, label) for label in ctx.labels)
+    indptr = np.concatenate(
+        [np.zeros(1, dtype=np.int64)]
+        + [ctx.indptr[1:] + edge_offset for ctx, edge_offset in
+           zip(contexts, np.cumsum([0] + [len(ctx.dst) for ctx in contexts[:-1]]))])
+    return BatchedContext(
+        n=total,
+        items=len(contexts),
+        labels=labels,
+        node_ids=np.concatenate([ctx.node_ids for ctx in contexts]),
+        indptr=indptr,
+        starts=indptr[:-1],
+        src=np.concatenate([ctx.src + off for ctx, off in
+                            zip(contexts, node_offsets[:-1])]),
+        dst=np.concatenate([ctx.dst + off for ctx, off in
+                            zip(contexts, node_offsets[:-1])]),
+        degrees=np.concatenate([ctx.degrees for ctx in contexts]),
+        network_of=np.repeat(np.arange(len(contexts), dtype=np.int64),
+                             node_offsets[1:] - node_offsets[:-1]),
+        node_offsets=node_offsets,
     )
 
 

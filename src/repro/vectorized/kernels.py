@@ -330,7 +330,15 @@ def builtin_kernels() -> list:
     """Return the kernels shipped with the library (empty without numpy)."""
     if not HAVE_NUMPY:
         return []
-    # imported lazily: the paper kernels build on this module's sub-checks
+    # imported lazily: the paper and scheme kernels build on this module's
+    # sub-checks
     from repro.vectorized.paper_kernels import NonPlanarityKernel, PlanarityKernel
+    from repro.vectorized.scheme_kernels import (
+        DMAMRoundKernel,
+        PathOuterplanarKernel,
+        UniversalMapKernel,
+    )
 
-    return [PathGraphKernel(), TreeKernel(), NonPlanarityKernel(), PlanarityKernel()]
+    return [PathGraphKernel(), TreeKernel(), NonPlanarityKernel(),
+            PlanarityKernel(), PathOuterplanarKernel(), UniversalMapKernel(),
+            DMAMRoundKernel()]

@@ -484,6 +484,11 @@ class PlanarityKernel:
     scheme_name = PlanarityScheme.name
     #: normal-mode granularity (see the degradation note in the docstring)
     coverage = "full"
+    #: small batched chunks: the visibility join materialises ~deg² pairs
+    #: per node across a dozen parallel arrays, so concatenated batches much
+    #: past this fall out of the last-level cache and lose more to memory
+    #: stalls than they save in per-call dispatch
+    batch_node_budget = 18_000
 
     def supports(self, scheme: Any) -> bool:
         # prover-side parameters (embedding backend, spanning-tree builder,
@@ -571,11 +576,12 @@ class PlanarityKernel:
         # resolve the other endpoint to a node index, then to the directed
         # CSR edge (viewer, other); certificates whose collection key is not
         # a genuine neighbor make the reference coverage check fail, so a
-        # resolution miss rejects the viewer
-        order, sorted_ids = ctx.id_index()
-        slot, id_found = _sorted_lookup(sorted_ids, other_id)
+        # resolution miss rejects the viewer.  resolve_ids is network-local
+        # on a BatchedContext, which is all that keeps this phase (and every
+        # composite-key phase below, already keyed by global node index)
+        # batch-correct.
+        other, id_found = ctx.resolve_ids(iv, other_id)
         resolved = proper & id_found
-        other = order[slot]
         edge_order, sorted_keys = ctx.edge_index()
         position, edge_found = _sorted_lookup(sorted_keys, iv * n + other)
         adjacent = resolved & edge_found

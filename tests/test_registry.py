@@ -176,7 +176,47 @@ class TestRegistryBehaviour:
                 assert type(kernel).__name__ == kernel_class
                 # the coverage cell's leading word is the kernel's contract
                 assert coverage == registry.kernel_coverage(name)
-                assert coverage == getattr(kernel, "coverage", "full")
+                assert coverage == kernel.coverage
+
+    def test_kernel_requires_explicit_coverage(self):
+        """Registering a kernel that does not declare its ``coverage``
+        contract raises instead of silently reading as "full"."""
+        registry = SchemeRegistry()
+        registry.register("planarity-pls", PlanarityScheme)
+
+        class NoCoverage:
+            scheme_name = "planarity-pls"
+
+            def supports(self, scheme):
+                return True
+
+        with pytest.raises(RegistryError, match="coverage"):
+            registry.register_kernel("planarity-pls", NoCoverage())
+
+        class EmptyCoverage(NoCoverage):
+            coverage = ""
+
+        with pytest.raises(RegistryError, match="coverage"):
+            registry.register_kernel("planarity-pls", EmptyCoverage())
+
+        class NonStringCoverage(NoCoverage):
+            coverage = 3
+
+        with pytest.raises(RegistryError, match="coverage"):
+            registry.register_kernel("planarity-pls", NonStringCoverage())
+        assert registry.kernel("planarity-pls") is None
+
+    def test_every_builtin_scheme_has_kernel_coverage(self):
+        """PR 6 completes the backend-support matrix: every registered
+        scheme — all seven rows — ships a kernel with a declared coverage."""
+        pytest.importorskip("numpy")
+        registry = default_registry()
+        assert set(registry.kernel_names()) == EXPECTED_NAMES
+        coverages = {name: registry.kernel_coverage(name)
+                     for name in EXPECTED_NAMES}
+        assert all(coverages.values())
+        assert coverages["planarity-dmam"] == "round"
+        assert set(coverages.values()) <= {"full", "prefilter", "round"}
 
     def test_planarity_kernel_is_full_coverage(self):
         """PR 5's contract flip, pinned: the planarity kernel is a full

@@ -45,7 +45,19 @@ def yes_instance(name: str):
         "tree-pls": random_tree(24, seed=3),
         "non-planarity-pls": k5_subdivision(2, seed=3),
         "planarity-pls": delaunay_planar_graph(24, seed=3),
+        # <= 9 nodes: the scheme's built-in witness search only covers paths
+        # whose labels sort in path order (n <= 9 before "v10" < "v2" bites)
+        "path-outerplanarity-pls": path_graph(9),
+        "universal-map-pls": delaunay_planar_graph(24, seed=3),
     }[name]
+
+
+def pls_kernel_names():
+    """Kernel-backed schemes with a ``prove``/``verify`` pair (the fuzz
+    subjects; the interactive dMAM round kernel is exercised separately)."""
+    registry = default_registry()
+    return sorted(name for name in registry.kernel_names()
+                  if registry.entry(name).kind == "pls")
 
 
 def assert_backends_agree(scheme, network, certificates):
@@ -63,7 +75,8 @@ class TestKernelRegistry:
     def test_builtin_kernels_registered(self):
         registry = default_registry()
         assert registry.kernel_names() == [
-            "non-planarity-pls", "path-graph-pls", "planarity-pls", "tree-pls"]
+            "non-planarity-pls", "path-graph-pls", "path-outerplanarity-pls",
+            "planarity-dmam", "planarity-pls", "tree-pls", "universal-map-pls"]
 
     def test_kernel_for_resolves_exact_schemes_only(self):
         registry = default_registry()
@@ -75,7 +88,19 @@ class TestKernelRegistry:
         # prover-side parametrisations keep the verifier, hence the kernel
         assert isinstance(registry.kernel_for(
             PlanarityScheme(distribute_by_degeneracy=False)), PlanarityKernel)
-        assert registry.kernel_for(registry.create("universal-map-pls")) is None
+        from repro.core.po_scheme import PathOuterplanarScheme
+        from repro.vectorized import (
+            DMAMRoundKernel,
+            PathOuterplanarKernel,
+            UniversalMapKernel,
+        )
+
+        assert isinstance(registry.kernel_for(PathOuterplanarScheme()),
+                          PathOuterplanarKernel)
+        assert isinstance(registry.kernel_for(
+            registry.create("universal-map-pls")), UniversalMapKernel)
+        assert isinstance(registry.kernel_for(
+            registry.create("planarity-dmam")), DMAMRoundKernel)
 
         class SubclassedTree(TreeScheme):
             """Could override verify; must never be served by the kernel."""
@@ -83,8 +108,12 @@ class TestKernelRegistry:
         class SubclassedNonPlanarity(NonPlanarityScheme):
             """Same: subclasses must take the reference path."""
 
+        class SubclassedPathOuterplanar(PathOuterplanarScheme):
+            """Same: subclasses must take the reference path."""
+
         assert registry.kernel_for(SubclassedTree()) is None
         assert registry.kernel_for(SubclassedNonPlanarity()) is None
+        assert registry.kernel_for(SubclassedPathOuterplanar()) is None
 
     def test_kernel_registration_guards(self):
         registry = SchemeRegistry()
@@ -128,11 +157,20 @@ class TestEngineBackendSelection:
         assert decisions == run_verification(scheme, network, certificates).decisions
 
     def test_scheme_without_kernel_falls_back(self):
+        """A registry that never attached a kernel serves the reference loop
+        under the vectorized backend (every builtin scheme now ships one, so
+        the kernel-less case needs a bare registry)."""
         scheme = default_registry().create("universal-map-pls")
+        bare = SchemeRegistry()
+        bare.register(type(scheme).name, type(scheme))
         graph = delaunay_planar_graph(20, seed=4)
         network = Network(graph, seed=4)
         certificates = scheme.prove(network)
-        assert_backends_agree(scheme, network, certificates)
+        engine = SimulationEngine(backend="vectorized", kernel_registry=bare)
+        reference = run_verification(scheme, network, certificates)
+        assert engine.verify(scheme, network, certificates).decisions == \
+            reference.decisions
+        assert engine.backend_counters["kernel_calls"] == 0
 
     def test_single_node_network_falls_back(self):
         scheme = PathGraphScheme()
@@ -475,8 +513,10 @@ class TestBackendCounters:
         assert engine.backend_counters["fallback_nodes"] > 0
 
     def test_kernelless_scheme_counts_a_fallback_network(self):
-        engine = SimulationEngine(backend="vectorized")
         scheme = default_registry().create("universal-map-pls")
+        bare = SchemeRegistry()
+        bare.register(type(scheme).name, type(scheme))
+        engine = SimulationEngine(backend="vectorized", kernel_registry=bare)
         graph = delaunay_planar_graph(16, seed=4)
         network = Network(graph, seed=4)
         engine.verify(scheme, network, scheme.prove(network))
@@ -655,6 +695,51 @@ def _mutate_nested(certificate, rng):
             return dataclasses.replace(certificate,
                                        edge_certificates=tuple(entries))
         choices.append(tweak_entry_payload)
+    path_label = getattr(certificate, "path", None)
+    if path_label is not None and dataclasses.is_dataclass(path_label):
+        def tweak_path():
+            field = rng.choice(_int_fields(path_label))
+            values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
+            if field == "parent_id":
+                values.append(None)
+            return dataclasses.replace(certificate, path=dataclasses.replace(
+                path_label, **{field: rng.choice(values)}))
+        choices.append(tweak_path)
+    interval = getattr(certificate, "interval", None)
+    if isinstance(interval, tuple) and len(interval) == 2:
+        def tweak_interval():
+            op = rng.randrange(4)
+            if op == 0:
+                return dataclasses.replace(
+                    certificate,
+                    interval=(interval[0] + rng.choice([-1, 1]), interval[1]))
+            if op == 1:
+                return dataclasses.replace(
+                    certificate,
+                    interval=(interval[0], interval[1] + rng.choice([-2, -1, 1])))
+            if op == 2:  # list shape: unrepresentable, and never tuple-equal
+                return dataclasses.replace(certificate, interval=list(interval))
+            return dataclasses.replace(
+                certificate,
+                interval=(rng.randrange(-2, 20), rng.randrange(-2, 20)))
+        choices.append(tweak_interval)
+    map_ids = getattr(certificate, "node_ids", None)
+    map_edges = getattr(certificate, "edges", None)
+    if isinstance(map_ids, tuple) and isinstance(map_edges, tuple):
+        def tweak_map():
+            op = rng.randrange(4)
+            if op == 0 and map_edges:
+                return dataclasses.replace(certificate, edges=map_edges[:-1])
+            if op == 1:
+                return dataclasses.replace(
+                    certificate, node_ids=map_ids + (rng.randrange(1 << 20),))
+            if op == 2 and map_edges:
+                u, v = map_edges[rng.randrange(len(map_edges))]
+                return dataclasses.replace(certificate,
+                                           edges=map_edges + ((v, u),))
+            # list container: unrepresentable, routed through the fallback
+            return dataclasses.replace(certificate, node_ids=list(map_ids))
+        choices.append(tweak_map)
     if not choices:
         return None
     return rng.choice(choices)()
@@ -698,8 +783,7 @@ def _corrupt(certificates, nodes, rng):
     return mutated
 
 
-@pytest.mark.parametrize("scheme_name",
-                         sorted(default_registry().kernel_names()))
+@pytest.mark.parametrize("scheme_name", pls_kernel_names())
 @pytest.mark.parametrize("graph_name,graph", _fuzz_graphs(),
                          ids=[name for name, _ in _fuzz_graphs()])
 def test_fuzz_accept_vector_identical(scheme_name, graph_name, graph):
@@ -723,3 +807,206 @@ def test_fuzz_accept_vector_identical(scheme_name, graph_name, graph):
     for _ in range(12):
         certificates = _corrupt(certificates, nodes, rng)
         assert_backends_agree(scheme, network, certificates)
+
+
+# ----------------------------------------------------------------------
+# batched sweeps: many networks, one kernel invocation
+# ----------------------------------------------------------------------
+def _family_graph(scheme_name, size, seed):
+    """A member-family graph of roughly ``size`` nodes for ``scheme_name``."""
+    if scheme_name == "path-outerplanarity-pls":
+        # the built-in witness search needs labels sorting in path order
+        return path_graph(min(size, 9))
+    if scheme_name == "path-graph-pls":
+        return path_graph(size)
+    if scheme_name == "tree-pls":
+        return random_tree(size, seed=seed)
+    if scheme_name == "non-planarity-pls":
+        return k5_subdivision(1 + seed % 3, seed=seed)
+    return delaunay_planar_graph(size, seed=seed)
+
+
+def _batch_items(scheme, scheme_name, rng):
+    """A random sweep: mixed sizes, honest and corrupted assignments, plus
+    one network the vector compiler refuses outright (oversized ids)."""
+    items = []
+    pool = []
+    for index in range(4):
+        graph = _family_graph(scheme_name, rng.randrange(8, 20), seed=index)
+        network = Network(graph, seed=index)
+        certificates = scheme.prove(network)
+        pool.extend(certificates.values())
+        nodes = list(network.nodes())
+        for _ in range(rng.randrange(0, 3)):
+            certificates = _corrupt(certificates, nodes, rng)
+        items.append((network, certificates))
+    # the compiler refuses this network: the batch must peel it off to the
+    # per-item path without disturbing the other items' results
+    graph = path_graph(3)
+    refused = Network(graph, ids={
+        node: (1 << 70) + index for index, node in enumerate(graph.nodes())})
+    assert build_vector_context(refused) is None
+    items.append((refused, {node: pool[index % len(pool)]
+                            for index, node in enumerate(refused.nodes())}))
+    return items
+
+
+class TestBatchedSweeps:
+    """``verify_batch`` / ``count_accepting_batch``: one kernel invocation
+    per sweep, per-node decisions identical to both the per-network
+    vectorized path and the reference loop."""
+
+    @pytest.mark.parametrize("scheme_name", pls_kernel_names())
+    def test_fuzz_batched_sweep_identical(self, scheme_name):
+        scheme = default_registry().create(scheme_name)
+        rng = random.Random(f"batch/{scheme_name}")
+        items = _batch_items(scheme, scheme_name, rng)
+        batched = SimulationEngine(backend="vectorized")
+        results = batched.verify_batch(scheme, items)
+        counts = batched.count_accepting_batch(scheme, items)
+        per_item = SimulationEngine(backend="vectorized")
+        for (network, certificates), result, count in zip(items, results, counts):
+            reference = run_verification(scheme, network, certificates)
+            vectorized = per_item.verify(scheme, network, certificates)
+            assert result.decisions == reference.decisions
+            assert vectorized.decisions == reference.decisions
+            assert result.certificate_bits == reference.certificate_bits
+            assert count == sum(reference.decisions.values())
+
+    @pytest.mark.parametrize("scheme_name", pls_kernel_names())
+    def test_one_kernel_call_per_sweep(self, scheme_name):
+        scheme = default_registry().create(scheme_name)
+        rng = random.Random(f"batch-counters/{scheme_name}")
+        items = _batch_items(scheme, scheme_name, rng)
+        engine = SimulationEngine(backend="vectorized")
+        engine.verify_batch(scheme, items)
+        counters = engine.backend_counters
+        # 4 representable items share one invocation; the refused network
+        # peels off to the reference loop as a whole-network fallback
+        assert counters["kernel_calls"] == 1
+        assert counters["fallback_networks"] == 1
+        engine.count_accepting_batch(scheme, items)
+        assert engine.backend_counters["kernel_calls"] == 2
+
+    def test_forced_fallback_batch_stays_identical(self):
+        """Every item carries unrepresentable certificates: the whole batch
+        drains through the per-node fallback with unchanged decisions."""
+        scheme = default_registry().create("tree-pls")
+        items = []
+        for index in range(3):
+            network = Network(random_tree(10 + index, seed=index), seed=index)
+            certificates = scheme.prove(network)
+            victim = sorted(certificates, key=repr)[0]
+            certificates[victim] = dataclasses.replace(
+                certificates[victim], total=1 << 70)
+            items.append((network, certificates))
+        engine = SimulationEngine(backend="vectorized")
+        results = engine.verify_batch(scheme, items)
+        assert engine.backend_counters["fallback_nodes"] > 0
+        assert engine.backend_counters["kernel_calls"] == 1
+        for (network, certificates), result in zip(items, results):
+            assert result.decisions == \
+                run_verification(scheme, network, certificates).decisions
+
+    def test_reference_backend_batch_matches(self):
+        scheme = default_registry().create("path-graph-pls")
+        items = [(Network(path_graph(6 + index), seed=index),
+                  scheme.prove(Network(path_graph(6 + index), seed=index)))
+                 for index in range(2)]
+        # note: certificates proved on a *different* Network instance with
+        # the same seed — ids match, so decisions are still well-defined
+        engine = SimulationEngine(backend="reference")
+        results = engine.verify_batch(scheme, items)
+        for (network, certificates), result in zip(items, results):
+            assert result.decisions == \
+                run_verification(scheme, network, certificates).decisions
+        assert all(value == 0 for value in engine.backend_counters.values())
+
+    def test_single_item_batch_uses_per_network_path(self):
+        scheme = default_registry().create("tree-pls")
+        network = Network(random_tree(12, seed=2), seed=2)
+        certificates = scheme.prove(network)
+        engine = SimulationEngine(backend="vectorized")
+        [result] = engine.verify_batch(scheme, [(network, certificates)])
+        assert result.decisions == \
+            run_verification(scheme, network, certificates).decisions
+        assert engine.backend_counters["kernel_calls"] == 1
+
+    def test_batched_context_cache_reused_and_evictable(self):
+        scheme = default_registry().create("path-graph-pls")
+        items = [(Network(path_graph(6 + index), seed=index), None)
+                 for index in range(3)]
+        items = [(network, scheme.prove(network)) for network, _ in items]
+        engine = SimulationEngine(backend="vectorized")
+        engine.count_accepting_batch(scheme, items)
+        assert len(engine._batched_contexts) == 1
+        first = next(iter(engine._batched_contexts.values()))
+        engine.count_accepting_batch(scheme, items)
+        assert next(iter(engine._batched_contexts.values())) is first
+        engine.clear_caches()
+        assert not engine._batched_contexts
+
+
+class TestInteractiveRoundKernel:
+    """The dMAM verification round through the vectorized backend."""
+
+    def test_estimate_soundness_matches_reference_honest(self):
+        proto = default_registry().create("planarity-dmam")
+        network = Network(delaunay_planar_graph(16, seed=9), seed=9)
+        vectorized = SimulationEngine(backend="vectorized")
+        estimate = vectorized.estimate_soundness_error(proto, network,
+                                                       trials=5, seed=3)
+        reference = SimulationEngine(backend="reference").estimate_soundness_error(
+            proto, network, trials=5, seed=3)
+        assert estimate == reference
+        counters = vectorized.backend_counters
+        assert counters["kernel_calls"] == 5          # one per challenge draw
+        assert counters["fallback_nodes"] == 0
+
+    def test_estimate_soundness_matches_reference_dishonest(self):
+        from repro.baselines.dmam import DMAMSecondMessage
+
+        proto = default_registry().create("planarity-dmam")
+        network = Network(delaunay_planar_graph(14, seed=4), seed=4)
+
+        def strategy(net, first, challenges):
+            second = proto.merlin_second(net, first, challenges)
+            victim = sorted(second, key=repr)[0]
+            message = second[victim]
+            second[victim] = DMAMSecondMessage(
+                global_point=message.global_point + 1,
+                push_product_subtree=message.push_product_subtree,
+                pop_product_subtree=message.pop_product_subtree)
+            return second
+        vectorized = SimulationEngine(backend="vectorized").estimate_soundness_error(
+            proto, network, trials=5, seed=3, second_strategy=strategy)
+        reference = SimulationEngine(backend="reference").estimate_soundness_error(
+            proto, network, trials=5, seed=3, second_strategy=strategy)
+        assert vectorized == reference
+
+    def test_unrepresentable_second_message_falls_back(self):
+        proto = default_registry().create("planarity-dmam")
+        network = Network(delaunay_planar_graph(12, seed=6), seed=6)
+        engine = SimulationEngine(backend="vectorized")
+        turn = engine.first_turn(proto, network)
+        first = dict(turn.messages)
+        prepared = engine.interactive_prepared(proto, network, first)
+        challenges = proto.draw_challenges(network, random.Random(1))
+        second = proto.second_turn(network, turn, challenges)
+        victim = sorted(second, key=repr)[0]
+        second[victim] = "garbage"
+        count = engine.count_accepting_interactive(
+            proto, network, first, second, challenges, prepared=prepared)
+        reference = SimulationEngine(backend="reference").count_accepting_interactive(
+            proto, network, first, second, challenges, prepared=prepared)
+        assert count == reference
+        assert engine.backend_counters["fallback_nodes"] > 0
+
+    def test_transcripts_identical_across_backends(self):
+        proto = default_registry().create("planarity-dmam")
+        network = Network(delaunay_planar_graph(12, seed=8), seed=8)
+        transcript_v = SimulationEngine(backend="vectorized").run_interactive(
+            proto, network, seed=5)
+        transcript_r = SimulationEngine(backend="reference").run_interactive(
+            proto, network, seed=5)
+        assert transcript_v == transcript_r
