@@ -53,7 +53,8 @@ def _git_commit() -> str | None:
     return result.stdout.strip() or None
 
 
-def provenance(workers: int | None = None) -> dict[str, Any]:
+def provenance(workers: int | None = None,
+               observability: dict[str, Any] | None = None) -> dict[str, Any]:
     """Describe the machine and interpreter a benchmark payload was measured on.
 
     ``workers`` records the process-pool width the benchmark used (when it
@@ -62,6 +63,11 @@ def provenance(workers: int | None = None) -> dict[str, Any]:
     version and the git commit the numbers were measured at (``None`` when
     unavailable, e.g. outside a checkout) make the committed ``BENCH_*.json``
     payloads attributable to an exact kernel implementation.
+
+    ``observability`` embeds a metrics/span snapshot (see
+    :func:`observability_snapshot`) so a committed payload also records
+    *where* the measured time went — kernel calls, fallback attribution,
+    per-phase self-times — not just the section totals.
     """
     info: dict[str, Any] = {
         "python_version": platform.python_version(),
@@ -73,7 +79,40 @@ def provenance(workers: int | None = None) -> dict[str, Any]:
     }
     if workers is not None:
         info["workers"] = workers
+    if observability is not None:
+        info["observability"] = observability
     return info
 
 
-__all__ = ["emit", "provenance"]
+def observability_snapshot(tracer: Any) -> dict[str, Any]:
+    """Compact JSON-safe summary of a traced benchmark pass.
+
+    Per span name: call count, total and *self* milliseconds (self = total
+    minus directly-nested child time), so a ``BENCH_*.json`` reader can see
+    how kernel-phase time splits without re-running the sweep; plus the
+    tracer-level counters, which carry the ``fallback_networks.<scheme>.
+    <reason>`` / ``fallback_nodes.<scheme>.<reason>`` attribution.
+    """
+    from repro.observability.export import self_times
+
+    selfs = self_times(tracer.spans)
+    phases: dict[str, list[float]] = {}
+    for span in tracer.spans:
+        row = phases.setdefault(span.name, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += span.duration
+        row[2] += selfs.get(span.span_id, 0.0)
+    return {
+        "spans": len(tracer.spans),
+        "unclosed_spans": tracer.open_spans,
+        "dropped_spans": tracer.dropped_spans,
+        "phases": {name: {"count": int(count),
+                          "total_ms": round(total * 1e3, 3),
+                          "self_ms": round(self_total * 1e3, 3)}
+                   for name, (count, total, self_total)
+                   in sorted(phases.items())},
+        "counters": dict(tracer.metrics.counters),
+    }
+
+
+__all__ = ["emit", "provenance", "observability_snapshot"]

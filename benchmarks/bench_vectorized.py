@@ -59,11 +59,12 @@ import time
 from pathlib import Path
 from typing import Any
 
-from bench_common import provenance
+from bench_common import observability_snapshot, provenance
 from repro.core import PathOuterplanarScheme, random_path_outerplanar_graph
 from repro.distributed.engine import SimulationEngine
 from repro.distributed.network import Network
 from repro.distributed.registry import default_registry
+from repro.observability import Tracer, install, write_span_log
 from repro.graphs.generators import (
     delaunay_planar_graph,
     k5_subdivision,
@@ -285,8 +286,11 @@ def build_sweep(sizes: list[int], planarity_sizes: list[int],
 
 
 #: backend_counters keys surfaced per section in BENCH_vectorized.json
+#: (reference_calls / reference_nodes count whole-network reference-loop
+#: passes — always zero on the vectorized and batched passes of this sweep,
+#: kept in the payload so a coverage regression is visible in the diff)
 _COUNTER_KEYS = ("kernel_calls", "kernel_nodes", "fallback_nodes",
-                 "fallback_networks")
+                 "fallback_networks", "reference_calls", "reference_nodes")
 
 
 def run_sweep(legs: list[dict[str, Any]],
@@ -380,6 +384,9 @@ def main() -> None:
                         help="small sizes for the CI smoke job")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_vectorized.json")
+    parser.add_argument("--span-log", type=Path, default=None,
+                        help="also write the batched pass's JSONL span log "
+                             "(readable by scripts/trace_report.py)")
     args = parser.parse_args()
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
@@ -399,9 +406,22 @@ def main() -> None:
     print("running engine, vectorized backend ...")
     vectorized_outcomes, vectorized_seconds, counters = run_sweep(legs, "vectorized")
     print(f"  {sum(vectorized_seconds.values()):.2f}s")
-    print("running engine, batched sweeps ...")
-    batched_outcomes, batched_seconds, batched_counters = run_batched_sweep(legs)
+    print("running engine, batched sweeps (traced) ...")
+    # the batched pass runs under an enabled tracer: its per-phase span
+    # timings and fallback attribution land in the payload's provenance
+    # block (and in --span-log), and running it traced doubles as the
+    # tracing-on/off equivalence check — outcomes must still match the
+    # untraced reference and vectorized passes exactly
+    tracer = Tracer(enabled=True)
+    previous = install(tracer)
+    try:
+        batched_outcomes, batched_seconds, batched_counters = run_batched_sweep(legs)
+    finally:
+        install(previous)
     print(f"  {sum(batched_seconds.values()):.2f}s")
+    if args.span_log is not None:
+        write_span_log(tracer, str(args.span_log))
+        print(f"wrote {args.span_log}")
 
     identical = (reference_outcomes == vectorized_outcomes
                  and reference_outcomes == batched_outcomes)
@@ -487,7 +507,7 @@ def main() -> None:
         "schemes": sorted({o[0] for o in reference_outcomes}),
         "seed": SEED,
         "quick": args.quick,
-        "provenance": provenance(),
+        "provenance": provenance(observability=observability_snapshot(tracer)),
         "sweep": {"sizes": sizes, "planarity_sizes": planarity_sizes,
                   "corrupted_assignments_per_instance": trials,
                   "attack_assignments_per_instance": attack_trials},

@@ -18,6 +18,15 @@ from pathlib import Path
 # images ![alt](target) match the same way via the trailing "[...](...)"
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+# Core documentation that must exist; the docs/*.md glob alone would let a
+# renamed or deleted file drop out of coverage silently.
+REQUIRED = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/KERNELS.md",
+    "docs/OBSERVABILITY.md",
+)
+
 
 def check_file(path: Path) -> list[str]:
     errors = []
@@ -33,7 +42,9 @@ def check_file(path: Path) -> list[str]:
 
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
-    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    files = [root / name for name in REQUIRED]
+    files += [path for path in sorted((root / "docs").glob("*.md"))
+              if path not in files]
     errors = []
     for path in files:
         if not path.exists():

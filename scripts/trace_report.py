@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Summarise a span log written by ``repro.observability.write_span_log``.
+
+Standalone and stdlib-only: the span log is the interchange format, so this
+tool must work on a machine (or CI leg) that has the JSONL file but not the
+library.  It reads the per-span records plus the ``trace_summary`` trailer
+(span/unclosed/dropped counts and the metrics snapshot) and prints
+
+* the top phases by *self* time (duration minus directly-nested child
+  time, resolved through the ``parent`` links — absorbed worker spans keep
+  their remapped links, so multi-process logs aggregate correctly),
+* fallback attribution by ``(scheme, reason)``, read from the
+  ``fallback_networks.<scheme>.<reason>`` / ``fallback_nodes.<scheme>.<reason>``
+  counters of the trailer's metrics snapshot,
+* kernel-call statistics (calls, nodes, total/self ms per ``kernel:*``
+  span name) and batch-chunk statistics from the ``batch_build`` spans.
+
+``--check`` mode asserts trace integrity for the CI smoke leg: the trailer
+must be present, report zero unclosed spans, and at least one ``kernel:*``
+span must have been recorded; exit status is non-zero otherwise.
+
+Usage::
+
+    python scripts/trace_report.py trace_spans.jsonl [--top 15] [--check]
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def load_span_log(path: str) -> tuple[list[dict[str, Any]], dict[str, Any] | None]:
+    """Read a JSONL span log, returning ``(spans, trailer-or-None)``."""
+    spans: list[dict[str, Any]] = []
+    trailer: dict[str, Any] | None = None
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}:{line_number}: not JSON ({error})")
+            if record.get("trace_summary"):
+                trailer = record
+            else:
+                spans.append(record)
+    return spans, trailer
+
+
+def self_times(spans: list[dict[str, Any]]) -> dict[Any, float]:
+    """Self time per span id: duration minus direct children's durations."""
+    child_time: dict[Any, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + span["dur"]
+    return {span["id"]: max(0.0, span["dur"] - child_time.get(span["id"], 0.0))
+            for span in spans}
+
+
+def aggregate(spans: list[dict[str, Any]]) -> dict[str, list[float]]:
+    """Per-name ``[count, total_seconds, self_seconds]`` aggregation."""
+    selfs = self_times(spans)
+    rows: dict[str, list[float]] = {}
+    for span in spans:
+        row = rows.setdefault(span["name"], [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += span["dur"]
+        row[2] += selfs.get(span["id"], 0.0)
+    return rows
+
+
+def print_top_phases(rows: dict[str, list[float]], top: int) -> None:
+    header = f"{'span':<44} {'count':>7} {'total ms':>10} {'self ms':>10}"
+    print(header)
+    print("-" * len(header))
+    ordered = sorted(rows.items(), key=lambda item: item[1][2], reverse=True)
+    for name, (count, total, self_total) in ordered[:top]:
+        print(f"{name:<44} {int(count):>7d} {total * 1e3:>10.3f} "
+              f"{self_total * 1e3:>10.3f}")
+    if len(ordered) > top:
+        print(f"... {len(ordered) - top} more span names")
+
+
+def fallback_attribution(counters: dict[str, Any]) -> dict[tuple[str, str], list[int]]:
+    """``(scheme, reason) -> [networks, nodes]`` from the metrics counters."""
+    table: dict[tuple[str, str], list[int]] = {}
+    for prefix, slot in (("fallback_networks.", 0), ("fallback_nodes.", 1)):
+        for key, value in counters.items():
+            if not key.startswith(prefix):
+                continue
+            scheme, _, reason = key[len(prefix):].rpartition(".")
+            row = table.setdefault((scheme, reason), [0, 0])
+            row[slot] += int(value)
+    return table
+
+
+def print_fallbacks(counters: dict[str, Any]) -> None:
+    table = fallback_attribution(counters)
+    print()
+    print("fallback attribution")
+    if not table:
+        print("  (none recorded)")
+        return
+    header = f"  {'scheme':<28} {'reason':<22} {'networks':>9} {'nodes':>9}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for (scheme, reason), (networks, nodes) in sorted(table.items()):
+        print(f"  {scheme:<28} {reason:<22} {networks:>9d} {nodes:>9d}")
+
+
+def print_kernel_stats(spans: list[dict[str, Any]],
+                       rows: dict[str, list[float]]) -> None:
+    print()
+    print("kernel calls")
+    kernel_names = sorted(name for name in rows if name.startswith("kernel:"))
+    if not kernel_names:
+        print("  (no kernel spans)")
+    else:
+        nodes_by_name: dict[str, int] = {}
+        for span in spans:
+            name = span["name"]
+            if name.startswith("kernel:"):
+                nodes_by_name[name] = (nodes_by_name.get(name, 0)
+                                       + int(span.get("attrs", {}).get("nodes", 0)))
+        header = (f"  {'kernel span':<42} {'calls':>7} {'nodes':>9} "
+                  f"{'total ms':>10} {'self ms':>10}")
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for name in kernel_names:
+            count, total, self_total = rows[name]
+            print(f"  {name:<42} {int(count):>7d} "
+                  f"{nodes_by_name.get(name, 0):>9d} "
+                  f"{total * 1e3:>10.3f} {self_total * 1e3:>10.3f}")
+
+    chunks = [span for span in spans if span["name"] == "batch_build"]
+    print()
+    print("batch chunks")
+    if not chunks:
+        print("  (no batch_build spans)")
+        return
+    items = [int(span.get("attrs", {}).get("items", 0)) for span in chunks]
+    nodes = [int(span.get("attrs", {}).get("nodes", 0)) for span in chunks]
+    total_ms = sum(span["dur"] for span in chunks) * 1e3
+    print(f"  chunks={len(chunks)} items={sum(items)} nodes={sum(nodes)} "
+          f"build_ms={total_ms:.3f} "
+          f"max_chunk_nodes={max(nodes, default=0)}")
+
+
+def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None) -> int:
+    """CI integrity assertions; returns a process exit status."""
+    failures: list[str] = []
+    if trailer is None:
+        failures.append("no trace_summary trailer record")
+    else:
+        if trailer.get("unclosed_spans", 0) != 0:
+            failures.append(f"unclosed spans: {trailer['unclosed_spans']}")
+        if trailer.get("spans") != len(spans):
+            failures.append(f"trailer says {trailer.get('spans')} spans, "
+                            f"log holds {len(spans)}")
+    if not any(span["name"].startswith("kernel:") for span in spans):
+        failures.append("no kernel:* spans recorded")
+    ids = {span["id"] for span in spans}
+    dangling = sum(1 for span in spans
+                   if span.get("parent") is not None
+                   and span["parent"] not in ids)
+    dropped = trailer.get("dropped_spans", 0) if trailer else 0
+    if dangling and not dropped:
+        failures.append(f"{dangling} spans reference missing parents")
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"check ok: {len(spans)} spans, 0 unclosed, "
+          f"{sum(1 for s in spans if s['name'].startswith('kernel:'))} "
+          "kernel spans")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("span_log", help="JSONL span log path")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows in the top-phases table (default 20)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert trace integrity (CI mode)")
+    args = parser.parse_args(argv)
+
+    spans, trailer = load_span_log(args.span_log)
+    if args.check:
+        return check(spans, trailer)
+
+    rows = aggregate(spans)
+    print_top_phases(rows, args.top)
+    counters = (trailer or {}).get("metrics", {}).get("counters", {})
+    print_fallbacks(counters)
+    print_kernel_stats(spans, rows)
+    if trailer is not None:
+        print()
+        print(f"trailer: spans={trailer.get('spans')} "
+              f"unclosed={trailer.get('unclosed_spans')} "
+              f"dropped={trailer.get('dropped_spans')}")
+    else:
+        print()
+        print("warning: no trace_summary trailer (incomplete log?)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from repro.distributed.certificates import encoded_size_bits
 from repro.distributed.network import Network
 from repro.exceptions import CertificateError, ProtocolError
 from repro.graphs.graph import Node
+from repro.observability.tracer import current as current_tracer
 
 __all__ = ["NodeProcess", "RoundResult", "SynchronousSimulator"]
 
@@ -111,13 +112,19 @@ class SynchronousSimulator:
     # ------------------------------------------------------------------
     def run(self, algorithm: NodeAlgorithm, max_rounds: int = 1000) -> list[RoundResult]:
         """Run ``algorithm`` at every node until all halt or ``max_rounds`` is hit."""
-        for round_index in range(max_rounds):
-            if all(process.halted for process in self._processes):
-                break
-            self._run_round(algorithm, round_index)
-        else:
-            if not all(process.halted for process in self._processes):
-                raise ProtocolError(f"simulation did not terminate within {max_rounds} rounds")
+        with current_tracer().span("congest_run") as sp:
+            for round_index in range(max_rounds):
+                if all(process.halted for process in self._processes):
+                    break
+                self._run_round(algorithm, round_index)
+            else:
+                if not all(process.halted for process in self._processes):
+                    raise ProtocolError(f"simulation did not terminate within {max_rounds} rounds")
+            if sp:
+                sp.set(nodes=len(self._processes),
+                       rounds=self.rounds_used,
+                       messages=sum(result.messages_sent
+                                    for result in self.round_results))
         return self.round_results
 
     def _run_round(self, algorithm: NodeAlgorithm, round_index: int) -> None:

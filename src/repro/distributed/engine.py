@@ -90,12 +90,21 @@ from repro.distributed.scheme import ProofLabelingScheme
 from repro.distributed.verifier import VerificationResult, certificate_statistics
 from repro.distributed.views import NodeStructure, assemble_view, materialize_structures
 from repro.graphs.graph import Graph, Node
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import current as current_tracer
 
 __all__ = ["SimulationEngine", "NodeStructure", "InteractiveSoundnessEstimate",
            "derive_seed", "BACKENDS"]
 
 #: verification backends selectable on the engine (and per call)
 BACKENDS = ("reference", "vectorized")
+
+#: keys of the :attr:`SimulationEngine.backend_counters` compatibility view
+#: (a fixed subset of the engine's :class:`MetricsRegistry` counters)
+_BACKEND_COUNTER_KEYS = (
+    "kernel_calls", "kernel_nodes", "fallback_nodes", "fallback_networks",
+    "reference_calls", "reference_nodes",
+)
 
 
 #: nodes per batched super-CSR chunk when the kernel does not declare its
@@ -217,11 +226,13 @@ class SimulationEngine:
         self.network_cache_size = network_cache_size
         self.backend = backend
         self.kernel_registry = kernel_registry
-        # vectorized-path coverage counters (see backend_counters)
-        self._backend_counters = {
-            "kernel_calls": 0, "kernel_nodes": 0,
-            "fallback_nodes": 0, "fallback_networks": 0,
-        }
+        # per-engine metrics; backs the backend_counters compatibility view
+        # (the alias below shares the registry's counter dict, so the hot
+        # increment sites stay plain dict operations)
+        self.metrics = MetricsRegistry()
+        for name in _BACKEND_COUNTER_KEYS:
+            self.metrics.counters[name] = 0
+        self._backend_counters = self.metrics.counters
         # structural views per network: id(network) -> {radius: [NodeStructure]}
         self._structures: dict[int, dict[int, list[NodeStructure]]] = {}
         # honest certificates per network: id(network) -> {id(scheme): certs}
@@ -244,6 +255,8 @@ class SimulationEngine:
         # validated by identity against the caller's prepared list, so a new
         # first turn (new prepared states) recompiles automatically
         self._dmam_compiled: dict[int, tuple[Any, Any]] = {}
+        # cheap per-network trace fingerprints: id(network) -> str
+        self._fingerprints: dict[int, str] = {}
         # graph mutation counter observed when a network's caches were built:
         # id(network) -> Graph._version
         self._versions: dict[int, int] = {}
@@ -275,6 +288,7 @@ class SimulationEngine:
         self._first_turns.pop(key, None)
         self._vector_contexts.pop(key, None)
         self._dmam_compiled.pop(key, None)
+        self._fingerprints.pop(key, None)
         if self._batched_contexts:
             for batch_key in [k for k in self._batched_contexts if key in k]:
                 del self._batched_contexts[batch_key]
@@ -403,8 +417,17 @@ class SimulationEngine:
         if accept is None:
             verify = scheme.verify
             view = self._view
-            return {s.node: bool(verify(view(s, certificates, radius)))
-                    for s in self.structures(network, radius)}
+            structures = self.structures(network, radius)
+            counters = self._backend_counters
+            counters["reference_calls"] += 1
+            counters["reference_nodes"] += len(structures)
+            tracer = current_tracer()
+            with tracer.span("reference_loop") as sp:
+                if sp:
+                    sp.set(scheme=scheme.name, nodes=len(structures),
+                           network=self._fingerprint(network))
+                return {s.node: bool(verify(view(s, certificates, radius)))
+                        for s in structures}
         labels = network.graph.indexed().labels
         return {label: bool(accept[i]) for i, label in enumerate(labels)}
 
@@ -442,25 +465,34 @@ class SimulationEngine:
 
     @property
     def backend_counters(self) -> dict[str, int]:
-        """Coverage counters of the vectorized path (a read-only snapshot).
+        """Coverage counters of the verification paths (a read-only snapshot).
 
         ``kernel_calls`` / ``kernel_nodes`` count the calls (and their node
         totals) actually decided through a kernel; ``fallback_nodes`` counts
         the nodes a kernel flagged for per-node reference re-decision (the
-        exactness fallback plus any prefilter-degradation survivors); and
+        exactness fallback plus any prefilter-degradation survivors);
         ``fallback_networks`` counts vectorized-backend calls the kernels
         could not serve at all (no kernel, radius > 1, refused network) and
-        that ran the reference loop wholesale.  Together with wall-clock
-        these make kernel *coverage* a tracked benchmark quantity — a
-        regression that silently reverts a kernel to its fallback path shows
-        up here even when decisions stay identical.
+        that ran the reference loop wholesale; and ``reference_calls`` /
+        ``reference_nodes`` count every whole-network pass of the per-node
+        reference loop — both deliberate ``backend="reference"`` calls and
+        vectorized-backend calls that fell back wholesale — so
+        mixed-backend comparisons report coverage for *both* sides instead
+        of silently carrying stale vectorized counts.  Together with
+        wall-clock these make backend coverage a tracked benchmark quantity
+        — a regression that silently reverts a kernel to its fallback path
+        shows up here even when decisions stay identical.
+
+        The counters live in the engine's :attr:`metrics` registry (this
+        property is a compatibility view over the
+        :data:`_BACKEND_COUNTER_KEYS` subset).
         """
-        return dict(self._backend_counters)
+        counters = self.metrics.counters
+        return {name: counters.get(name, 0) for name in _BACKEND_COUNTER_KEYS}
 
     def reset_backend_counters(self) -> None:
         """Zero the :attr:`backend_counters` (e.g. between benchmark legs)."""
-        for key in self._backend_counters:
-            self._backend_counters[key] = 0
+        self.metrics.reset(_BACKEND_COUNTER_KEYS)
 
     def _accept_vector(self, scheme: ProofLabelingScheme, network: Network,
                        certificates: dict[Node, Any]) -> Any | None:
@@ -474,28 +506,63 @@ class SimulationEngine:
         on the cached structures, so the returned vector is always exact.
         """
         counters = self._backend_counters
+        tracer = current_tracer()
         if scheme.verification_radius != 1:
             counters["fallback_networks"] += 1
+            self._note_network_fallback(tracer, scheme, "radius")
             return None
         kernel = self._kernel_for(scheme)
         if kernel is None:
             counters["fallback_networks"] += 1
+            self._note_network_fallback(tracer, scheme, "no_kernel")
             return None
         ctx = self._vector_context(network)
         if ctx is None:
             counters["fallback_networks"] += 1
+            self._note_network_fallback(tracer, scheme, "refused_network")
             return None
-        accept, fallback = kernel.accept_vector(ctx, scheme, certificates)
+        with tracer.span("kernel:" + scheme.name) as sp:
+            if sp:
+                sp.set(scheme=scheme.name, nodes=int(ctx.n),
+                       network=self._fingerprint(network))
+            accept, fallback = kernel.accept_vector(ctx, scheme, certificates)
         counters["kernel_calls"] += 1
         counters["kernel_nodes"] += ctx.n
         if fallback.any():
-            counters["fallback_nodes"] += int(fallback.sum())
+            nodes = int(fallback.sum())
+            counters["fallback_nodes"] += nodes
             structures = self.structures(network, 1)
             verify = scheme.verify
             view = self._view
-            for i in fallback.nonzero()[0]:
-                accept[i] = bool(verify(view(structures[i], certificates, 1)))
+            if tracer.enabled:
+                tracer.metrics.count(
+                    f"fallback_nodes.{scheme.name}.unrepresentable_view", nodes)
+            with tracer.span("fallback") as sp:
+                if sp:
+                    sp.set(scheme=scheme.name, reason="unrepresentable_view",
+                           nodes=nodes)
+                for i in fallback.nonzero()[0]:
+                    accept[i] = bool(verify(view(structures[i], certificates, 1)))
         return accept
+
+    def _fingerprint(self, network: Network) -> str:
+        """Cheap cached trace fingerprint of a network (size, edges, id range)."""
+        key = self._network_key(network)
+        cached = self._fingerprints.get(key)
+        if cached is None:
+            ids = network.ids()
+            cached = (f"n{network.size}"
+                      f"e{network.graph.number_of_edges()}"
+                      f"#{min(ids, default=0):x}-{max(ids, default=0):x}")
+            self._fingerprints[key] = cached
+        return cached
+
+    @staticmethod
+    def _note_network_fallback(tracer: Any, scheme: Any, reason: str) -> None:
+        """Attribute a whole-network fallback to (scheme, reason) in the trace."""
+        if tracer.enabled:
+            tracer.metrics.count(f"fallback_networks.{scheme.name}.{reason}")
+            tracer.event("fallback", scheme=scheme.name, reason=reason)
 
     #: batched super-CSRs kept alive at once (a sweep reuses one batch per
     #: (section, scheme) item tuple, so a handful covers every benchmark)
@@ -568,20 +635,26 @@ class SimulationEngine:
             total += n
         if current:
             groups.append(current)
-        for group in groups:
+        for chunk, group in enumerate(groups):
             if len(group) == 1:
                 idx = group[0]
                 network, certificates = items[idx]
                 results[idx] = self._accept_vector(scheme, network, certificates)
                 continue
-            self._batch_accept_group(scheme, items, group, results)
+            self._batch_accept_group(scheme, items, group, results, chunk)
         return results
 
     def _batch_accept_group(self, scheme: ProofLabelingScheme,
                             items: Sequence[tuple[Network, dict[Node, Any]]],
-                            group: list[int], results: list[Any]) -> None:
+                            group: list[int], results: list[Any],
+                            chunk: int = 0) -> None:
         """Decide one chunk of batch items with a single kernel invocation."""
-        batched = self._batched_context([items[idx][0] for idx in group])
+        tracer = current_tracer()
+        with tracer.span("batch_build") as sp:
+            batched = self._batched_context([items[idx][0] for idx in group])
+            if sp:
+                sp.set(scheme=scheme.name, chunk=chunk, items=len(group),
+                       nodes=0 if batched is None else int(batched.n))
         if batched is None:  # lost a size race; peel back to per-item calls
             for idx in group:
                 network, certificates = items[idx]
@@ -589,24 +662,36 @@ class SimulationEngine:
             return
         kernel = self._kernel_for(scheme)
         certificates = _merged_certificates([items[idx][1] for idx in group])
-        accept, fallback = kernel.accept_vector(batched, scheme, certificates)
+        with tracer.span("kernel:" + scheme.name) as sp:
+            if sp:
+                sp.set(scheme=scheme.name, nodes=int(batched.n),
+                       chunk=chunk, items=len(group))
+            accept, fallback = kernel.accept_vector(batched, scheme, certificates)
         counters = self._backend_counters
         counters["kernel_calls"] += 1
         counters["kernel_nodes"] += batched.n
         if fallback.any():
-            counters["fallback_nodes"] += int(fallback.sum())
+            nodes = int(fallback.sum())
+            counters["fallback_nodes"] += nodes
+            if tracer.enabled:
+                tracer.metrics.count(
+                    f"fallback_nodes.{scheme.name}.unrepresentable_view", nodes)
             verify = scheme.verify
             view = self._view
             structures_of: dict[int, list[NodeStructure]] = {}
-            for g in fallback.nonzero()[0]:
-                k = int(batched.network_of[g])
-                local = int(g) - int(batched.node_offsets[k])
-                network, item_certs = items[group[k]]
-                structures = structures_of.get(k)
-                if structures is None:
-                    structures = self.structures(network, 1)
-                    structures_of[k] = structures
-                accept[g] = bool(verify(view(structures[local], item_certs, 1)))
+            with tracer.span("fallback") as sp:
+                if sp:
+                    sp.set(scheme=scheme.name, reason="unrepresentable_view",
+                           nodes=nodes, chunk=chunk)
+                for g in fallback.nonzero()[0]:
+                    k = int(batched.network_of[g])
+                    local = int(g) - int(batched.node_offsets[k])
+                    network, item_certs = items[group[k]]
+                    structures = structures_of.get(k)
+                    if structures is None:
+                        structures = self.structures(network, 1)
+                        structures_of[k] = structures
+                    accept[g] = bool(verify(view(structures[local], item_certs, 1)))
         offsets = batched.node_offsets
         for k, idx in enumerate(group):
             results[idx] = accept[offsets[k]:offsets[k + 1]]
@@ -695,8 +780,17 @@ class SimulationEngine:
         radius = scheme.verification_radius
         verify = scheme.verify
         view = self._view
-        return sum(1 for s in self.structures(network, radius)
-                   if verify(view(s, certificates, radius)))
+        structures = self.structures(network, radius)
+        counters = self._backend_counters
+        counters["reference_calls"] += 1
+        counters["reference_nodes"] += len(structures)
+        tracer = current_tracer()
+        with tracer.span("reference_loop") as sp:
+            if sp:
+                sp.set(scheme=scheme.name, nodes=len(structures),
+                       network=self._fingerprint(network))
+            return sum(1 for s in structures
+                       if verify(view(s, certificates, radius)))
 
     # ------------------------------------------------------------------
     # prover artifacts
@@ -831,6 +925,20 @@ class SimulationEngine:
         half runs as one array pass per challenge draw when the protocol
         registered a round kernel.
         """
+        tracer = current_tracer()
+        with tracer.span("interactive_round") as outer:
+            if outer:
+                outer.set(protocol=protocol.name, nodes=network.size,
+                          network=self._fingerprint(network))
+            return self._interactive_decisions_impl(
+                protocol, network, first, second, challenges, prepared, backend)
+
+    def _interactive_decisions_impl(self, protocol: InteractiveProtocol,
+                                    network: Network, first: dict[Node, Any],
+                                    second: dict[Node, Any],
+                                    challenges: dict[Node, int],
+                                    prepared: Sequence[Any] | None,
+                                    backend: str | None) -> dict[Node, bool]:
         if prepared is not None and self._resolve_backend(backend) == "vectorized":
             accept = self._interactive_accept_round(protocol, network, first,
                                                     second, challenges, prepared)
@@ -841,6 +949,9 @@ class SimulationEngine:
         paired = {node: (first.get(node), second.get(node))
                   for node in network.nodes()}
         structures = self.structures(network, 1)
+        counters = self._backend_counters
+        counters["reference_calls"] += 1
+        counters["reference_nodes"] += len(structures)
         decisions: dict[Node, bool] = {}
         if prepared is None:
             verify = protocol.verify
@@ -874,37 +985,59 @@ class SimulationEngine:
         with :meth:`verify_with_state` exactly as the reference loop would.
         """
         counters = self._backend_counters
+        tracer = current_tracer()
         kernel = self._kernel_for(protocol)
         if kernel is None or not hasattr(kernel, "accept_round"):
             counters["fallback_networks"] += 1
+            self._note_network_fallback(tracer, protocol, "no_round_kernel")
             return None
         ctx = self._vector_context(network)
         if ctx is None:
             counters["fallback_networks"] += 1
+            self._note_network_fallback(tracer, protocol, "refused_network")
             return None
         key = self._network_key(network)
         entry = self._dmam_compiled.get(key)
         if entry is not None and entry[0] is prepared:
             compiled = entry[1]
         else:
-            compiled = kernel.compile_prepared(ctx, prepared)
+            with tracer.span("compile") as sp:
+                if sp:
+                    sp.set(stage="prepared_states", protocol=protocol.name,
+                           nodes=int(ctx.n))
+                compiled = kernel.compile_prepared(ctx, prepared)
             self._dmam_compiled[key] = (prepared, compiled)
-        accept, fallback = kernel.accept_round(ctx, compiled, second, challenges)
+        with tracer.span("kernel:" + protocol.name) as sp:
+            if sp:
+                sp.set(scheme=protocol.name, nodes=int(ctx.n), round=True)
+            accept, fallback = kernel.accept_round(ctx, compiled, second,
+                                                   challenges)
         counters["kernel_calls"] += 1
         counters["kernel_nodes"] += ctx.n
         if fallback.any():
-            counters["fallback_nodes"] += int(fallback.sum())
+            nodes = int(fallback.sum())
+            counters["fallback_nodes"] += nodes
+            if tracer.enabled:
+                tracer.metrics.count(
+                    f"fallback_nodes.{protocol.name}.unrepresentable_view",
+                    nodes)
             paired = {node: (first.get(node), second.get(node))
                       for node in network.nodes()}
             structures = self.structures(network, 1)
             finish = protocol.verify_with_state
-            for i in fallback.nonzero()[0]:
-                s = structures[i]
-                view = assemble_view(s, paired, 1)
-                neighbor_challenges = {vid: challenges[v] for vid, v in
-                                       zip(s.visible_ids[1:], s.visible_nodes[1:])}
-                accept[i] = bool(finish(prepared[i], view, challenges[s.node],
-                                        neighbor_challenges))
+            with tracer.span("fallback") as sp:
+                if sp:
+                    sp.set(scheme=protocol.name, reason="unrepresentable_view",
+                           nodes=nodes)
+                for i in fallback.nonzero()[0]:
+                    s = structures[i]
+                    view = assemble_view(s, paired, 1)
+                    neighbor_challenges = {vid: challenges[v] for vid, v in
+                                           zip(s.visible_ids[1:],
+                                               s.visible_nodes[1:])}
+                    accept[i] = bool(finish(prepared[i], view,
+                                            challenges[s.node],
+                                            neighbor_challenges))
         return accept
 
     def interactive_prepared(self, protocol: InteractiveProtocol,
@@ -996,17 +1129,69 @@ class SimulationEngine:
         process pool (``worker`` and every spec must then be picklable, e.g.
         a module-level function taking plain tuples).  Results keep the order
         of ``specs`` either way.
+
+        When tracing is enabled, each spec runs inside a ``trial`` span; on
+        the pool path every worker process installs its own fresh tracer
+        and ships its spans and metrics snapshot back through the pool
+        result, which the parent tracer absorbs (per-worker totals
+        aggregate to the same counters a serial run would record).
         """
+        tracer = current_tracer()
         if self.workers == 1 or len(specs) <= 1:
-            return [worker(spec) for spec in specs]
+            if not tracer.enabled:
+                return [worker(spec) for spec in specs]
+            results = []
+            for index, spec in enumerate(specs):
+                with tracer.span("trial") as sp:
+                    sp.set(index=index)
+                    results.append(worker(spec))
+            return results
         from concurrent.futures import ProcessPoolExecutor
 
+        if not tracer.enabled:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(worker, specs))
+        traced = _TracedTrial(worker)
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(worker, specs))
+            payloads = list(pool.map(traced, list(enumerate(specs))))
+        results = []
+        for index, (result, payload) in enumerate(payloads):
+            tracer.absorb(payload, worker=index)
+            results.append(result)
+        return results
 
     def rng(self, index: int = 0) -> random.Random:
         """Return a :class:`random.Random` seeded for trial ``index``."""
         return random.Random(self.trial_seed(index))
+
+
+class _TracedTrial:
+    """Picklable wrapper running one trial spec under a fresh worker tracer.
+
+    Installed around the user worker only when the parent has tracing
+    enabled.  The worker process gets its own enabled tracer (never the
+    fork-inherited copy of the parent's, which would re-ship the parent's
+    spans) and returns ``(result, trace_payload)``; the parent folds the
+    payload back with :meth:`~repro.observability.tracer.Tracer.absorb` —
+    aggregation goes through the serialised snapshot, never shared state.
+    """
+
+    def __init__(self, worker: Callable[[Any], Any]) -> None:
+        self.worker = worker
+
+    def __call__(self, indexed_spec: tuple[int, Any]) -> tuple[Any, dict]:
+        from repro.observability.tracer import Tracer, install
+
+        index, spec = indexed_spec
+        tracer = Tracer(enabled=True)
+        previous = install(tracer)
+        try:
+            with tracer.span("trial") as sp:
+                sp.set(index=index)
+                result = self.worker(spec)
+        finally:
+            install(previous)
+        return result, tracer.export_payload()
 
 
 def _estimate_counts(engine: SimulationEngine, protocol: InteractiveProtocol,

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.distributed.network import LocalView, Network
 from repro.graphs.graph import Graph, Node
+from repro.observability.tracer import current as current_tracer
 
 __all__ = ["NodeStructure", "materialize_structures", "assemble_view"]
 
@@ -58,6 +59,13 @@ def materialize_structures(network: Network, radius: int) -> list[NodeStructure]
     Nodes appear in the network's node order (the order
     :func:`~repro.distributed.verifier.run_verification` visits them).
     """
+    with current_tracer().span("view_materialize") as sp:
+        if sp:
+            sp.set(nodes=network.size, radius=radius)
+        return _materialize_structures(network, radius)
+
+
+def _materialize_structures(network: Network, radius: int) -> list[NodeStructure]:
     indexed = network.graph.indexed()
     labels = indexed.labels
     ids = [network.id_of(label) for label in labels]

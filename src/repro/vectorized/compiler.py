@@ -32,6 +32,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.observability.tracer import current as current_tracer
+
 try:  # numpy is an optional dependency of the core library
     import numpy as np
 
@@ -184,6 +186,14 @@ def build_vector_context(network: "Network") -> VectorContext | None:
     """
     if not HAVE_NUMPY:
         return None
+    with current_tracer().span("compile") as sp:
+        ctx = _build_vector_context(network)
+        if sp:
+            sp.set(stage="context", nodes=network.size, refused=ctx is None)
+        return ctx
+
+
+def _build_vector_context(network: "Network") -> VectorContext | None:
     indexed = network.graph.indexed()
     n = indexed.n
     if n < 2 or min(indexed.degrees) == 0:
@@ -307,6 +317,14 @@ def build_batched_context(contexts: list) -> BatchedContext | None:
     total = sum(sizes)
     if total >= INT_LIMIT:
         return None
+    with current_tracer().span("batch_build/concat") as sp:
+        if sp:
+            sp.set(items=len(contexts), nodes=total)
+        return _build_batched_context(contexts, sizes, total)
+
+
+def _build_batched_context(contexts: list, sizes: list[int],
+                           total: int) -> BatchedContext:
     node_offsets = np.zeros(len(contexts) + 1, dtype=np.int64)
     np.cumsum(np.array(sizes, dtype=np.int64), out=node_offsets[1:])
     labels: list = []
@@ -410,6 +428,17 @@ def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
     honest certificates, so steady-state compilation is one dict hit per node
     plus a single bulk array conversion).
     """
+    with current_tracer().span("compile/certificates") as sp:
+        if sp:
+            sp.set(stage="certificates", nodes=int(ctx.n),
+                   certificate_type=certificate_type.__name__)
+        return _compile_certificates(ctx, certificates, certificate_type,
+                                     fields)
+
+
+def _compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
+                          certificate_type: type,
+                          fields: tuple[FieldSpec, ...]) -> CertificateTable:
     n = ctx.n
     width = len(fields)
     empty_row = (0,) * width
@@ -557,6 +586,24 @@ def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
     coincide with dataclass equality, ``fields`` plus the sublist must cover
     every dataclass field of every entry type.
     """
+    with current_tracer().span("compile/edge_lists") as sp:
+        if sp:
+            sp.set(stage="edge_lists", nodes=int(ctx.n), list=list_name,
+                   certificate_type=certificate_type.__name__)
+        return _compile_edge_lists(ctx, certificates, certificate_type,
+                                   list_name, entry_types, fields, sublist,
+                                   sublist_fields, sublist_max_len,
+                                   assign_uids)
+
+
+def _compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
+                        certificate_type: type, list_name: str,
+                        entry_types: tuple[type, ...],
+                        fields: tuple[FieldSpec, ...],
+                        sublist: str | None = None,
+                        sublist_fields: tuple[FieldSpec, ...] = (),
+                        sublist_max_len: int | None = None,
+                        assign_uids: bool = False) -> EdgeListTable:
     n = ctx.n
     # the key carries the entry types and the sublist spec as well: the same
     # list compiled under a narrower entry-type tuple (or without the nested

@@ -68,6 +68,7 @@ from repro.core.planarity_scheme import (
     TreeEdgeCertificate,
 )
 from repro.core.building_blocks import SpanningTreeLabel
+from repro.observability.tracer import current as current_tracer
 from repro.vectorized.compiler import (
     HAVE_NUMPY,
     ID_LIMIT,
@@ -277,6 +278,8 @@ class NonPlanarityKernel:
 
     def accept_vector(self, ctx: VectorContext, scheme: Any,
                       certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        tracer = current_tracer()
+        prefix = "kernel:" + self.scheme_name + "/"
         table = compile_certificates(ctx, certificates, NonPlanarityCertificate,
                                      NONPLANARITY_FIELDS)
         fallback = view_fallback(ctx, table)
@@ -303,29 +306,30 @@ class NonPlanarityKernel:
         st_root = columns["root_id"]
 
         # ---- phase 1+2: global claim and spanning-tree anchor (prefilter) --
-        accept = spanning_tree_accept(ctx, table)
-        is_k33 = kind == KIND_K33
-        expected = np.where(is_k33, 6, 5)
-        accept &= ((kind == KIND_K5) | is_k33) & (bcount == expected)
-        distinct5 = np.ones(n, dtype=bool)
-        distinct6 = np.ones(n, dtype=bool)
-        for i in range(MAX_BRANCH_VERTICES):
-            for j in range(i + 1, MAX_BRANCH_VERTICES):
-                differs = branch[:, i] != branch[:, j]
-                distinct6 &= differs
-                if j < 5:
-                    distinct5 &= differs
-        accept &= np.where(is_k33, distinct6, distinct5)
-        same_claim = kind[dst] == kind[src]
-        same_claim &= bcount[dst] == bcount[src]
-        for slot in range(MAX_BRANCH_VERTICES):
-            same_claim &= (branch[dst, slot] == branch[src, slot]) \
-                & (bnone[dst, slot] == bnone[src, slot])
-        accept &= segment_all(same_claim, starts)
-        # the spanning tree anchors the existence of branch vertex 0
-        accept &= ~bnone[:, 0] & (st_root == branch[:, 0])
-        is_root_node = ids == st_root
-        accept &= ~is_root_node | (has_role & ~bindex_none & (bindex == 0))
+        with tracer.span(prefix + "spanning_tree"):
+            accept = spanning_tree_accept(ctx, table)
+            is_k33 = kind == KIND_K33
+            expected = np.where(is_k33, 6, 5)
+            accept &= ((kind == KIND_K5) | is_k33) & (bcount == expected)
+            distinct5 = np.ones(n, dtype=bool)
+            distinct6 = np.ones(n, dtype=bool)
+            for i in range(MAX_BRANCH_VERTICES):
+                for j in range(i + 1, MAX_BRANCH_VERTICES):
+                    differs = branch[:, i] != branch[:, j]
+                    distinct6 &= differs
+                    if j < 5:
+                        distinct5 &= differs
+            accept &= np.where(is_k33, distinct6, distinct5)
+            same_claim = kind[dst] == kind[src]
+            same_claim &= bcount[dst] == bcount[src]
+            for slot in range(MAX_BRANCH_VERTICES):
+                same_claim &= (branch[dst, slot] == branch[src, slot]) \
+                    & (bnone[dst, slot] == bnone[src, slot])
+            accept &= segment_all(same_claim, starts)
+            # the spanning tree anchors the existence of branch vertex 0
+            accept &= ~bnone[:, 0] & (st_root == branch[:, 0])
+            is_root_node = ids == st_root
+            accept &= ~is_root_node | (has_role & ~bindex_none & (bindex == 0))
         if not accept.any():
             return accept, fallback
 
@@ -333,70 +337,72 @@ class NonPlanarityKernel:
         is_internal = has_role & bindex_none
 
         # ---- phase 3: branch vertices own their id and see every partner --
-        k = bindex
-        k_ok = (0 <= k) & (k < bcount)
-        k_clip = np.clip(k, 0, MAX_BRANCH_VERTICES - 1)
-        branch_accept = k_ok & (ids == branch[rows, k_clip])
-        total_edge = st_total[src]
-        for s in range(4):
-            # the s-th required partner of branch vertex k: for K5 the s-th
-            # element of range(5) minus k; for K3,3 the s-th vertex of the
-            # opposite side (slot 3 exists only for K5)
-            partner = np.where(~is_k33, s + (s >= k),
-                               np.where(k < 3, 3 + s, s))
-            partner_clip = np.clip(partner, 0, MAX_BRANCH_VERTICES - 1)
-            partner_id = branch[rows, partner_clip]
-            partner_is_high = partner > k
-            pair_low = np.minimum(k, partner)
-            pair_high = np.maximum(k, partner)
-            found_branch = is_branch[dst] & (bindex[dst] == partner[src]) \
-                & (ids[dst] == partner_id[src])
-            found_internal = is_internal[dst] \
-                & ~low_none[dst] & (low[dst] == pair_low[src]) \
-                & ~high_none[dst] & (high[dst] == pair_high[src]) \
-                & ~position_none[dst] & (1 <= position[dst]) \
-                & (position[dst] <= total_edge)
-            path_end = np.where(
-                partner_is_high[src],
-                ~prev_none[dst] & (position[dst] == 1) & (prev[dst] == ids[src]),
-                ~next_none[dst] & (nxt[dst] == ids[src]))
-            slot_ok = segment_any(found_branch | (found_internal & path_end), starts)
-            if s == 3:
-                slot_ok |= is_k33
-            branch_accept &= slot_ok
+        with tracer.span(prefix + "branch_roles"):
+            k = bindex
+            k_ok = (0 <= k) & (k < bcount)
+            k_clip = np.clip(k, 0, MAX_BRANCH_VERTICES - 1)
+            branch_accept = k_ok & (ids == branch[rows, k_clip])
+            total_edge = st_total[src]
+            for s in range(4):
+                # the s-th required partner of branch vertex k: for K5 the s-th
+                # element of range(5) minus k; for K3,3 the s-th vertex of the
+                # opposite side (slot 3 exists only for K5)
+                partner = np.where(~is_k33, s + (s >= k),
+                                   np.where(k < 3, 3 + s, s))
+                partner_clip = np.clip(partner, 0, MAX_BRANCH_VERTICES - 1)
+                partner_id = branch[rows, partner_clip]
+                partner_is_high = partner > k
+                pair_low = np.minimum(k, partner)
+                pair_high = np.maximum(k, partner)
+                found_branch = is_branch[dst] & (bindex[dst] == partner[src]) \
+                    & (ids[dst] == partner_id[src])
+                found_internal = is_internal[dst] \
+                    & ~low_none[dst] & (low[dst] == pair_low[src]) \
+                    & ~high_none[dst] & (high[dst] == pair_high[src]) \
+                    & ~position_none[dst] & (1 <= position[dst]) \
+                    & (position[dst] <= total_edge)
+                path_end = np.where(
+                    partner_is_high[src],
+                    ~prev_none[dst] & (position[dst] == 1) & (prev[dst] == ids[src]),
+                    ~next_none[dst] & (nxt[dst] == ids[src]))
+                slot_ok = segment_any(found_branch | (found_internal & path_end), starts)
+                if s == 3:
+                    slot_ok |= is_k33
+                branch_accept &= slot_ok
 
         # ---- phase 4: internal vertices chain their subdivided path -------
-        fields_ok = ~low_none & ~high_none & ~position_none \
-            & ~prev_none & ~next_none
-        range_ok = (0 <= low) & (low < high) & (high < bcount)
-        # every (low, high) pair is legal for K5; K3,3 requires opposite sides
-        pair_ok = ~is_k33 | ((low < 3) & (high >= 3))
-        position_ok = (1 <= position) & (position <= st_total)
-        low_clip = np.clip(low, 0, MAX_BRANCH_VERTICES - 1)
-        high_clip = np.clip(high, 0, MAX_BRANCH_VERTICES - 1)
-        branch_low_id = branch[rows, low_clip]
-        branch_high_id = branch[rows, high_clip]
-        prev_edge = ~prev_none[src] & (ids[dst] == prev[src])
-        next_edge = ~next_none[src] & (ids[dst] == nxt[src])
-        chain = is_internal[dst] \
-            & ~low_none[dst] & (low[dst] == low[src]) \
-            & ~high_none[dst] & (high[dst] == high[src]) & ~position_none[dst]
-        # predecessor: the previous internal vertex, or the low branch vertex
-        # exactly at position 1
-        prev_is_branch = is_branch[dst] & (bindex[dst] == low[src]) \
-            & (prev[src] == branch_low_id[src])
-        prev_is_chain = chain & (position[dst] == position[src] - 1)
-        first_position = (position == 1)[src]
-        prev_ok = segment_any(
-            prev_edge & np.where(first_position, prev_is_branch, prev_is_chain),
-            starts)
-        # successor: the next internal vertex, or the high branch vertex
-        next_is_branch = is_branch[dst] & (bindex[dst] == high[src]) \
-            & (nxt[src] == branch_high_id[src])
-        next_is_chain = chain & (position[dst] == position[src] + 1)
-        next_ok = segment_any(next_edge & (next_is_branch | next_is_chain), starts)
-        internal_accept = fields_ok & range_ok & pair_ok & position_ok \
-            & prev_ok & next_ok
+        with tracer.span(prefix + "internal_roles"):
+            fields_ok = ~low_none & ~high_none & ~position_none \
+                & ~prev_none & ~next_none
+            range_ok = (0 <= low) & (low < high) & (high < bcount)
+            # every (low, high) pair is legal for K5; K3,3 requires opposite sides
+            pair_ok = ~is_k33 | ((low < 3) & (high >= 3))
+            position_ok = (1 <= position) & (position <= st_total)
+            low_clip = np.clip(low, 0, MAX_BRANCH_VERTICES - 1)
+            high_clip = np.clip(high, 0, MAX_BRANCH_VERTICES - 1)
+            branch_low_id = branch[rows, low_clip]
+            branch_high_id = branch[rows, high_clip]
+            prev_edge = ~prev_none[src] & (ids[dst] == prev[src])
+            next_edge = ~next_none[src] & (ids[dst] == nxt[src])
+            chain = is_internal[dst] \
+                & ~low_none[dst] & (low[dst] == low[src]) \
+                & ~high_none[dst] & (high[dst] == high[src]) & ~position_none[dst]
+            # predecessor: the previous internal vertex, or the low branch vertex
+            # exactly at position 1
+            prev_is_branch = is_branch[dst] & (bindex[dst] == low[src]) \
+                & (prev[src] == branch_low_id[src])
+            prev_is_chain = chain & (position[dst] == position[src] - 1)
+            first_position = (position == 1)[src]
+            prev_ok = segment_any(
+                prev_edge & np.where(first_position, prev_is_branch, prev_is_chain),
+                starts)
+            # successor: the next internal vertex, or the high branch vertex
+            next_is_branch = is_branch[dst] & (bindex[dst] == high[src]) \
+                & (nxt[src] == branch_high_id[src])
+            next_is_chain = chain & (position[dst] == position[src] + 1)
+            next_ok = segment_any(next_edge & (next_is_branch | next_is_chain), starts)
+            internal_accept = fields_ok & range_ok & pair_ok & position_ok \
+                & prev_ok & next_ok
 
         accept &= ~has_role | np.where(is_branch, branch_accept, internal_accept)
         return accept, fallback
@@ -509,8 +515,11 @@ class PlanarityKernel:
         parent_none = table.isnone["parent_id"]
         fallback = view_fallback(ctx, table)
 
+        tracer = current_tracer()
+        prefix = "kernel:" + self.scheme_name + "/"
         # ---- phase 1: spanning tree (Phase 2a) ----------------------------
-        accept = spanning_tree_accept(ctx, table)
+        with tracer.span(prefix + "spanning_tree"):
+            accept = spanning_tree_accept(ctx, table)
         if not accept.any():
             # the common adversarial case (forged-pool attacks): every node
             # already died in the spanning-tree phase, whose decision reads
@@ -549,7 +558,11 @@ class PlanarityKernel:
             # more certificates to a node, and the verifier enforces it
             accept &= edges.counts <= MAX_EDGE_CERTIFICATES_PER_NODE
 
-        join = self._visible_pairs(ctx, edges)
+        with tracer.span(prefix + "visibility_join") as sp:
+            join = self._visible_pairs(ctx, edges)
+            if sp:
+                sp.set(over_budget=join is None,
+                       pairs=0 if join is None else int(len(join[0])))
         if join is None:
             # join budget exceeded: degrade to the prefilter contract — the
             # conjuncts so far are necessary conditions, survivors fall back
@@ -558,96 +571,104 @@ class PlanarityKernel:
         viewer, entry = join
 
         # ---- phase 2: collection — keys, coverage, conflicts (Phase 1) ----
-        id_a_all = edges.columns["id_a"][entry]
-        id_b_all = edges.columns["id_b"][entry]
-        incident = (id_a_all == ids[viewer]) | (id_b_all == ids[viewer])
-        # only incident pairs enter the reference's collection (the rest are
-        # skipped with ``continue``), and they are the minority of the
-        # visibility join — filter before the binary-search resolutions
-        inc = incident.nonzero()[0]
-        iv, ie = viewer[inc], entry[inc]
-        id_a, id_b = id_a_all[inc], id_b_all[inc]
-        viewer_id = ids[iv]
-        # identifiers are distinct and below 2**62, so the endpoint sum
-        # recovers "the other endpoint" without overflow
-        other_id = id_a + id_b - viewer_id
-        proper = other_id != viewer_id
+        with tracer.span(prefix + "collection"):
+            id_a_all = edges.columns["id_a"][entry]
+            id_b_all = edges.columns["id_b"][entry]
+            incident = (id_a_all == ids[viewer]) | (id_b_all == ids[viewer])
+            # only incident pairs enter the reference's collection (the rest
+            # are skipped with ``continue``), and they are the minority of the
+            # visibility join — filter before the binary-search resolutions
+            inc = incident.nonzero()[0]
+            iv, ie = viewer[inc], entry[inc]
+            id_a, id_b = id_a_all[inc], id_b_all[inc]
+            viewer_id = ids[iv]
+            # identifiers are distinct and below 2**62, so the endpoint sum
+            # recovers "the other endpoint" without overflow
+            other_id = id_a + id_b - viewer_id
+            proper = other_id != viewer_id
 
-        # resolve the other endpoint to a node index, then to the directed
-        # CSR edge (viewer, other); certificates whose collection key is not
-        # a genuine neighbor make the reference coverage check fail, so a
-        # resolution miss rejects the viewer.  resolve_ids is network-local
-        # on a BatchedContext, which is all that keeps this phase (and every
-        # composite-key phase below, already keyed by global node index)
-        # batch-correct.
-        other, id_found = ctx.resolve_ids(iv, other_id)
-        resolved = proper & id_found
-        edge_order, sorted_keys = ctx.edge_index()
-        position, edge_found = _sorted_lookup(sorted_keys, iv * n + other)
-        adjacent = resolved & edge_found
-        edge_at = edge_order[position]
+            # resolve the other endpoint to a node index, then to the directed
+            # CSR edge (viewer, other); certificates whose collection key is
+            # not a genuine neighbor make the reference coverage check fail,
+            # so a resolution miss rejects the viewer.  resolve_ids is
+            # network-local on a BatchedContext, which is all that keeps this
+            # phase (and every composite-key phase below, already keyed by
+            # global node index) batch-correct.
+            other, id_found = ctx.resolve_ids(iv, other_id)
+            resolved = proper & id_found
+            edge_order, sorted_keys = ctx.edge_index()
+            position, edge_found = _sorted_lookup(sorted_keys, iv * n + other)
+            adjacent = resolved & edge_found
+            edge_at = edge_order[position]
 
-        accept &= ~scatter_any(~adjacent, iv, n)
-        keep = adjacent
-        pv, pe, pj = iv[keep], ie[keep], edge_at[keep]
-        covered = scatter_any(np.ones(len(pj), dtype=bool), pj, m)
-        # representative entry per covered directed edge, and the conflict
-        # check against it: the content uids of all visible matches must
-        # agree (uid equality is dataclass equality)
-        rep = np.zeros(m, dtype=np.int64)
-        rep[pj] = pe
-        uid = edges.uids
-        conflict = scatter_any(uid[pe] != uid[rep[pj]], pj, m)
-        accept &= segment_all(covered & ~conflict, starts)
+            accept &= ~scatter_any(~adjacent, iv, n)
+            keep = adjacent
+            pv, pe, pj = iv[keep], ie[keep], edge_at[keep]
+            covered = scatter_any(np.ones(len(pj), dtype=bool), pj, m)
+            # representative entry per covered directed edge, and the conflict
+            # check against it: the content uids of all visible matches must
+            # agree (uid equality is dataclass equality)
+            rep = np.zeros(m, dtype=np.int64)
+            rep[pj] = pe
+            uid = edges.uids
+            conflict = scatter_any(uid[pe] != uid[rep[pj]], pj, m)
+            accept &= segment_all(covered & ~conflict, starts)
         if not accept.any():
             return accept, fallback
-        ew_tree = edges.columns["is_tree"][rep].astype(bool)
-        ew_ida = edges.columns["id_a"][rep]
-        ew_xa = edges.columns["idx_a"][rep]
-        ew_xb = edges.columns["idx_b"][rep]
-        vid, oid = ids[src], ids[dst]
+        with tracer.span(prefix + "collection"):
+            ew_tree = edges.columns["is_tree"][rep].astype(bool)
+            ew_ida = edges.columns["id_a"][rep]
+            ew_xa = edges.columns["idx_a"][rep]
+            ew_xb = edges.columns["idx_b"][rep]
+            vid, oid = ids[src], ids[dst]
 
-        # ---- phase 3: kind/orientation against the tree labels (1b) -------
-        need_parent = ~parent_none[src] & (oid == parent[src])
-        need_child = present[dst] & ~parent_none[dst] & (parent[dst] == ids[src])
-        parent_form = ew_tree & (ew_ida == oid)
-        child_form = ew_tree & (ew_ida == vid)
-        edge_ok = covered & ~conflict & np.where(
-            need_parent, parent_form, np.where(need_child, child_form, ~ew_tree))
-        # a neighbor that is both my claimed parent and claims me as parent
-        # can never be covered consistently (the reference's child-span
-        # coverage check): the parent branch wins and the child set mismatches
-        accept &= segment_all(edge_ok & ~(need_parent & need_child), starts)
+            # ---- phase 3: kind/orientation against the tree labels (1b) ---
+            need_parent = ~parent_none[src] & (oid == parent[src])
+            need_child = present[dst] & ~parent_none[dst] \
+                & (parent[dst] == ids[src])
+            parent_form = ew_tree & (ew_ida == oid)
+            child_form = ew_tree & (ew_ida == vid)
+            edge_ok = covered & ~conflict & np.where(
+                need_parent, parent_form,
+                np.where(need_child, child_form, ~ew_tree))
+            # a neighbor that is both my claimed parent and claims me as
+            # parent can never be covered consistently (the reference's
+            # child-span coverage check): the parent branch wins and the
+            # child set mismatches
+            accept &= segment_all(edge_ok & ~(need_parent & need_child), starts)
 
         total = table.columns["total"]
         n_path = 2 * total - 1
 
         # ---- phase 4: interval-map range, consistency, and lookup table ---
-        sub = edges.sub
-        t_count = sub.counts[pe]
-        t_viewer = np.repeat(pv, t_count)
-        t_slot = _concat_ranges(sub.offsets[pe], t_count)
-        t_index = sub.columns["index"][t_slot]
-        t_low = sub.columns["low"][t_slot]
-        t_high = sub.columns["high"][t_slot]
-        accept &= ~scatter_any((t_index < 1) | (t_index > n_path[t_viewer]),
-                               t_viewer, n)
-        # consistency: sort by the (viewer, index) key alone and compare every
-        # triple against the first of its group — one single-key argsort
-        # instead of a three-key lexsort, same rejections
-        t_key = t_viewer * _INDEX_ENC + _enc_index(t_index)
-        t_order = np.argsort(t_key, kind="stable")
-        key_s = t_key[t_order]
-        low_s, high_s = t_low[t_order], t_high[t_order]
-        group_first = np.ones(len(key_s), dtype=bool)
-        group_first[1:] = key_s[1:] != key_s[:-1]
-        positions = np.arange(len(key_s), dtype=np.int64)
-        first_of_group = np.maximum.accumulate(np.where(group_first, positions, 0))
-        mismatch = (low_s != low_s[first_of_group]) | (high_s != high_s[first_of_group])
-        accept &= ~scatter_any(mismatch, t_viewer[t_order], n)
-        map_keys = key_s[group_first]
-        map_low = low_s[group_first]
-        map_high = high_s[group_first]
+        with tracer.span(prefix + "interval_map"):
+            sub = edges.sub
+            t_count = sub.counts[pe]
+            t_viewer = np.repeat(pv, t_count)
+            t_slot = _concat_ranges(sub.offsets[pe], t_count)
+            t_index = sub.columns["index"][t_slot]
+            t_low = sub.columns["low"][t_slot]
+            t_high = sub.columns["high"][t_slot]
+            accept &= ~scatter_any((t_index < 1) | (t_index > n_path[t_viewer]),
+                                   t_viewer, n)
+            # consistency: sort by the (viewer, index) key alone and compare
+            # every triple against the first of its group — one single-key
+            # argsort instead of a three-key lexsort, same rejections
+            t_key = t_viewer * _INDEX_ENC + _enc_index(t_index)
+            t_order = np.argsort(t_key, kind="stable")
+            key_s = t_key[t_order]
+            low_s, high_s = t_low[t_order], t_high[t_order]
+            group_first = np.ones(len(key_s), dtype=bool)
+            group_first[1:] = key_s[1:] != key_s[:-1]
+            positions = np.arange(len(key_s), dtype=np.int64)
+            first_of_group = np.maximum.accumulate(
+                np.where(group_first, positions, 0))
+            mismatch = (low_s != low_s[first_of_group]) \
+                | (high_s != high_s[first_of_group])
+            accept &= ~scatter_any(mismatch, t_viewer[t_order], n)
+            map_keys = key_s[group_first]
+            map_low = low_s[group_first]
+            map_high = high_s[group_first]
 
         def interval_lookup(q_viewer: Any, q_index: Any) -> tuple[Any, Any, Any]:
             """``(found, low, high)`` of the per-viewer interval map."""
@@ -659,188 +680,194 @@ class PlanarityKernel:
             return valid & found, map_low[positions], map_high[positions]
 
         # ---- phase 5: claimed copies and the Euler-tour chain (1b + 2b) ---
-        tree_e = need_parent | need_child
-        copy_a = np.where(need_parent, ew_xa + 1, ew_xa)
-        copy_b = np.where(need_parent, ew_xb, ew_xb + 1)
-        item_node = np.concatenate([src[tree_e], src[tree_e]])
-        item_val = np.concatenate([copy_a[tree_e], copy_b[tree_e]])
-        accept &= ~scatter_any((item_val < 1) | (item_val > n_path[item_node]),
-                               item_node, n)
-        # sort + dedup on the composite (node, encoded value) key: encoding
-        # equals the raw value everywhere the range conjunct above holds, and
-        # nodes where it does not are already rejected, so the encoded copy
-        # values feed every later phase unchanged
-        item_key = item_node * _INDEX_ENC + _enc_index(item_val)
-        item_order = np.argsort(item_key, kind="stable")
-        ik_s = item_key[item_order]
-        unique_first = np.ones(len(ik_s), dtype=bool)
-        unique_first[1:] = ik_s[1:] != ik_s[:-1]
-        u_key = ik_s[unique_first]
-        u_node, u_val = u_key // _INDEX_ENC, u_key % _INDEX_ENC
-        u_counts = np.bincount(u_node, minlength=n)
-        u_offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(u_counts, out=u_offsets[1:])
-        has_copies = u_counts > 0
-        accept &= has_copies  # euler_tour_locally_consistent on an empty set
-        f_min = np.zeros(n, dtype=np.int64)
-        f_max = np.zeros(n, dtype=np.int64)
-        f_min[has_copies] = u_val[u_offsets[:-1][has_copies]]
-        f_max[has_copies] = u_val[u_offsets[1:][has_copies] - 1]
+        with tracer.span(prefix + "euler_tour"):
+            tree_e = need_parent | need_child
+            copy_a = np.where(need_parent, ew_xa + 1, ew_xa)
+            copy_b = np.where(need_parent, ew_xb, ew_xb + 1)
+            item_node = np.concatenate([src[tree_e], src[tree_e]])
+            item_val = np.concatenate([copy_a[tree_e], copy_b[tree_e]])
+            accept &= ~scatter_any(
+                (item_val < 1) | (item_val > n_path[item_node]), item_node, n)
+            # sort + dedup on the composite (node, encoded value) key:
+            # encoding equals the raw value everywhere the range conjunct
+            # above holds, and nodes where it does not are already rejected,
+            # so the encoded copy values feed every later phase unchanged
+            item_key = item_node * _INDEX_ENC + _enc_index(item_val)
+            item_order = np.argsort(item_key, kind="stable")
+            ik_s = item_key[item_order]
+            unique_first = np.ones(len(ik_s), dtype=bool)
+            unique_first[1:] = ik_s[1:] != ik_s[:-1]
+            u_key = ik_s[unique_first]
+            u_node, u_val = u_key // _INDEX_ENC, u_key % _INDEX_ENC
+            u_counts = np.bincount(u_node, minlength=n)
+            u_offsets = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(u_counts, out=u_offsets[1:])
+            has_copies = u_counts > 0
+            accept &= has_copies  # euler_tour_locally_consistent, empty set
+            f_min = np.zeros(n, dtype=np.int64)
+            f_max = np.zeros(n, dtype=np.int64)
+            f_min[has_copies] = u_val[u_offsets[:-1][has_copies]]
+            f_max[has_copies] = u_val[u_offsets[1:][has_copies] - 1]
 
-        # the Euler-tour chain: child spans sorted by start must interleave
-        # the sorted unique copies exactly (euler_tour_locally_consistent)
-        span_e = need_child & ~need_parent
-        sp_node = src[span_e]
-        sp_min = ew_xa[span_e] + 1
-        sp_max = ew_xb[span_e]
-        accept &= ~scatter_any(sp_min > sp_max, sp_node, n)
-        accept &= u_counts == np.bincount(sp_node, minlength=n) + 1
-        span_order = np.argsort(sp_node * _INDEX_ENC + _enc_index(sp_min),
-                                kind="stable")
-        sn_s = sp_node[span_order]
-        smin_s, smax_s = sp_min[span_order], sp_max[span_order]
-        partner = u_offsets[:-1][sn_s] + segment_rank(sn_s) + 1
-        partner = np.minimum(partner, max(len(u_val) - 1, 0))
-        chain_ok = (smax_s + 1 == u_val[partner]) \
-            & (smin_s == u_val[partner - 1] + 1)
-        accept &= ~scatter_any(~chain_ok, sn_s, n)
-        # root / parent anchors on f_min and f_max
-        p_xa = np.zeros(n, dtype=np.int64)
-        p_xb = np.zeros(n, dtype=np.int64)
-        p_xa[src[need_parent]] = ew_xa[need_parent]
-        p_xb[src[need_parent]] = ew_xb[need_parent]
-        accept &= np.where(parent_none,
-                           (f_min == 1) & (f_max == n_path),
-                           (f_min == p_xa + 1) & (f_max == p_xb))
+            # the Euler-tour chain: child spans sorted by start must
+            # interleave the sorted unique copies exactly
+            # (euler_tour_locally_consistent)
+            span_e = need_child & ~need_parent
+            sp_node = src[span_e]
+            sp_min = ew_xa[span_e] + 1
+            sp_max = ew_xb[span_e]
+            accept &= ~scatter_any(sp_min > sp_max, sp_node, n)
+            accept &= u_counts == np.bincount(sp_node, minlength=n) + 1
+            span_order = np.argsort(sp_node * _INDEX_ENC + _enc_index(sp_min),
+                                    kind="stable")
+            sn_s = sp_node[span_order]
+            smin_s, smax_s = sp_min[span_order], sp_max[span_order]
+            partner = u_offsets[:-1][sn_s] + segment_rank(sn_s) + 1
+            partner = np.minimum(partner, max(len(u_val) - 1, 0))
+            chain_ok = (smax_s + 1 == u_val[partner]) \
+                & (smin_s == u_val[partner - 1] + 1)
+            accept &= ~scatter_any(~chain_ok, sn_s, n)
+            # root / parent anchors on f_min and f_max
+            p_xa = np.zeros(n, dtype=np.int64)
+            p_xb = np.zeros(n, dtype=np.int64)
+            p_xa[src[need_parent]] = ew_xa[need_parent]
+            p_xb[src[need_parent]] = ew_xb[need_parent]
+            accept &= np.where(parent_none,
+                               (f_min == 1) & (f_max == n_path),
+                               (f_min == p_xa + 1) & (f_max == p_xb))
         if not accept.any():
             return accept, fallback
 
         # ---- phase 6: chords onto copies (Phase 1c) -----------------------
-        chord_e = covered & ~ew_tree
-        my_copy = np.where(ew_ida == vid, ew_xa, ew_xb)
-        other_copy = np.where(ew_ida == vid, ew_xb, ew_xa)
-        ch_node = src[chord_e]
-        ch_c = my_copy[chord_e]
-        ch_x = other_copy[chord_e]
-        accept &= ~scatter_any((ch_x < 1) | (ch_x > n_path[ch_node]), ch_node, n)
-        # my_copy must be one of my claimed copies; resolve it to its slot in
-        # the unique-copy domain (u_key is already the sorted composite key,
-        # so positions are slots) for the per-copy grouping below
-        u_pos, u_found = _sorted_lookup(u_key,
-                                        ch_node * _INDEX_ENC + _enc_index(ch_c))
-        member = u_found & (ch_c >= 1) & (ch_c < _INDEX_ENC)
-        accept &= ~scatter_any(~member, ch_node, n)
-        # only member chords proceed: a garbage slot must not leak a chord
-        # onto another node's copy
-        ch_slot = u_pos[member]
-        ch_x = ch_x[member]
+        with tracer.span(prefix + "chords"):
+            chord_e = covered & ~ew_tree
+            my_copy = np.where(ew_ida == vid, ew_xa, ew_xb)
+            other_copy = np.where(ew_ida == vid, ew_xb, ew_xa)
+            ch_node = src[chord_e]
+            ch_c = my_copy[chord_e]
+            ch_x = other_copy[chord_e]
+            accept &= ~scatter_any((ch_x < 1) | (ch_x > n_path[ch_node]),
+                                   ch_node, n)
+            # my_copy must be one of my claimed copies; resolve it to its
+            # slot in the unique-copy domain (u_key is already the sorted
+            # composite key, so positions are slots) for the per-copy
+            # grouping below
+            u_pos, u_found = _sorted_lookup(
+                u_key, ch_node * _INDEX_ENC + _enc_index(ch_c))
+            member = u_found & (ch_c >= 1) & (ch_c < _INDEX_ENC)
+            accept &= ~scatter_any(~member, ch_node, n)
+            # only member chords proceed: a garbage slot must not leak a
+            # chord onto another node's copy
+            ch_slot = u_pos[member]
+            ch_x = ch_x[member]
 
         # ---- phase 7: Algorithm 1 at every copy (Phase 3) -----------------
-        cp_v, cp_c = u_node, u_val
-        cp_np = n_path[cp_v]
-        own_found, cp_a, cp_b = interval_lookup(cp_v, cp_c)
-        bad_cp = ~own_found
-        bad_cp |= ~((cp_a < cp_c) & (cp_c < cp_b))
-        down_found, na_dn, nb_dn = interval_lookup(cp_v, cp_c - 1)
-        up_found, na_up, nb_up = interval_lookup(cp_v, cp_c + 1)
-        bad_cp |= (cp_c - 1 >= 1) & ~down_found
-        bad_cp |= (cp_c + 1 <= cp_np) & ~up_found
-        # every neighbor lies inside [a, b]; the virtual vertices 0 and
-        # total + 1 are exactly c - 1 at the first copy and c + 1 at the last
-        bad_cp |= ~((cp_a <= cp_c - 1) & (cp_c + 1 <= cp_b))
+        with tracer.span(prefix + "algorithm1"):
+            cp_v, cp_c = u_node, u_val
+            cp_np = n_path[cp_v]
+            own_found, cp_a, cp_b = interval_lookup(cp_v, cp_c)
+            bad_cp = ~own_found
+            bad_cp |= ~((cp_a < cp_c) & (cp_c < cp_b))
+            down_found, na_dn, nb_dn = interval_lookup(cp_v, cp_c - 1)
+            up_found, na_up, nb_up = interval_lookup(cp_v, cp_c + 1)
+            bad_cp |= (cp_c - 1 >= 1) & ~down_found
+            bad_cp |= (cp_c + 1 <= cp_np) & ~up_found
+            # every neighbor lies inside [a, b]; the virtual vertices 0 and
+            # total + 1 are exactly c - 1 at the first copy and c + 1 at the last
+            bad_cp |= ~((cp_a <= cp_c - 1) & (cp_c + 1 <= cp_b))
 
-        # per-copy chord blocks via a segmented sort by (slot, target)
-        chord_order = np.argsort(ch_slot * _INDEX_ENC + _enc_index(ch_x),
-                                 kind="stable")
-        cs_s = ch_slot[chord_order]
-        x_s = ch_x[chord_order]
-        cc_s = u_val[cs_s]
-        node_s = u_node[cs_s]
-        a_s, b_s = cp_a[cs_s], cp_b[cs_s]
-        n_copies = len(u_val)
-        x_found, na_x, nb_x = interval_lookup(node_s, x_s)
-        bad_ch = ~x_found
-        bad_ch |= (x_s == cc_s) | (x_s == cc_s - 1) | (x_s == cc_s + 1)
-        bad_ch |= ~((a_s <= x_s) & (x_s <= b_s))
-        # duplicates and the consecutive-neighbor interval chains (lines 6-9)
-        same_slot = cs_s[1:] == cs_s[:-1]
-        bad_ch[1:] |= same_slot & (x_s[1:] == x_s[:-1])
-        pair_above = same_slot & (x_s[:-1] > cc_s[:-1])
-        above_ok = (na_x[:-1] == cc_s[:-1]) & (nb_x[:-1] == x_s[1:])
-        pair_below = same_slot & (x_s[1:] < cc_s[1:])
-        below_ok = (na_x[1:] == x_s[:-1]) & (nb_x[1:] == cc_s[1:])
-        bad_ch[1:] |= (pair_above & ~above_ok) | (pair_below & ~below_ok)
+            # per-copy chord blocks via a segmented sort by (slot, target)
+            chord_order = np.argsort(ch_slot * _INDEX_ENC + _enc_index(ch_x),
+                                     kind="stable")
+            cs_s = ch_slot[chord_order]
+            x_s = ch_x[chord_order]
+            cc_s = u_val[cs_s]
+            node_s = u_node[cs_s]
+            a_s, b_s = cp_a[cs_s], cp_b[cs_s]
+            n_copies = len(u_val)
+            x_found, na_x, nb_x = interval_lookup(node_s, x_s)
+            bad_ch = ~x_found
+            bad_ch |= (x_s == cc_s) | (x_s == cc_s - 1) | (x_s == cc_s + 1)
+            bad_ch |= ~((a_s <= x_s) & (x_s <= b_s))
+            # duplicates and the consecutive-neighbor interval chains (lines 6-9)
+            same_slot = cs_s[1:] == cs_s[:-1]
+            bad_ch[1:] |= same_slot & (x_s[1:] == x_s[:-1])
+            pair_above = same_slot & (x_s[:-1] > cc_s[:-1])
+            above_ok = (na_x[:-1] == cc_s[:-1]) & (nb_x[:-1] == x_s[1:])
+            pair_below = same_slot & (x_s[1:] < cc_s[1:])
+            below_ok = (na_x[1:] == x_s[:-1]) & (nb_x[1:] == cc_s[1:])
+            bad_ch[1:] |= (pair_above & ~above_ok) | (pair_below & ~below_ok)
 
-        # extreme chords per copy (for lines 6-13)
-        above = x_s > cc_s
-        below = x_s < cc_s
-        exists_above = np.zeros(n_copies, dtype=bool)
-        exists_above[cs_s[above]] = True
-        exists_below = np.zeros(n_copies, dtype=bool)
-        exists_below[cs_s[below]] = True
-        min_above = np.full(n_copies, _INT64_MAX, dtype=np.int64)
-        np.minimum.at(min_above, cs_s[above], x_s[above])
-        max_above = np.full(n_copies, _INT64_MIN, dtype=np.int64)
-        np.maximum.at(max_above, cs_s[above], x_s[above])
-        min_below = np.full(n_copies, _INT64_MAX, dtype=np.int64)
-        np.minimum.at(min_below, cs_s[below], x_s[below])
-        max_below = np.full(n_copies, _INT64_MIN, dtype=np.int64)
-        np.maximum.at(max_below, cs_s[below], x_s[below])
+            # extreme chords per copy (for lines 6-13)
+            above = x_s > cc_s
+            below = x_s < cc_s
+            exists_above = np.zeros(n_copies, dtype=bool)
+            exists_above[cs_s[above]] = True
+            exists_below = np.zeros(n_copies, dtype=bool)
+            exists_below[cs_s[below]] = True
+            min_above = np.full(n_copies, _INT64_MAX, dtype=np.int64)
+            np.minimum.at(min_above, cs_s[above], x_s[above])
+            max_above = np.full(n_copies, _INT64_MIN, dtype=np.int64)
+            np.maximum.at(max_above, cs_s[above], x_s[above])
+            min_below = np.full(n_copies, _INT64_MAX, dtype=np.int64)
+            np.minimum.at(min_below, cs_s[below], x_s[below])
+            max_below = np.full(n_copies, _INT64_MIN, dtype=np.int64)
+            np.maximum.at(max_below, cs_s[below], x_s[below])
 
-        # lines 6-7 / 8-9 head links: the path neighbor bounds the nearest
-        # chord on each side
-        bad_cp |= exists_above & ~((na_up == cp_c) & (nb_up == min_above))
-        bad_cp |= exists_below & ~((na_dn == max_below) & (nb_dn == cp_c))
-        # lines 10-11: the largest neighbor, when strictly inside [a, b],
-        # shares I(x); the largest is the topmost chord, else c + 1 (which is
-        # the virtual total + 1 — interval None, hence an outright reject —
-        # exactly at the last copy)
-        _, na_top, nb_top = interval_lookup(cp_v, max_above)
-        bad_cp |= exists_above & (max_above < cp_b) \
-            & ~((na_top == cp_a) & (nb_top == cp_b))
-        virtual_up = cp_c == cp_np
-        bad_cp |= ~exists_above & (cp_c + 1 < cp_b) \
-            & (virtual_up | ~((na_up == cp_a) & (nb_up == cp_b)))
-        # lines 12-13: symmetric for the smallest neighbor (virtual 0 at the
-        # first copy)
-        _, na_bot, nb_bot = interval_lookup(cp_v, min_below)
-        bad_cp |= exists_below & (min_below > cp_a) \
-            & ~((na_bot == cp_a) & (nb_bot == cp_b))
-        virtual_dn = cp_c == 1
-        bad_cp |= ~exists_below & (cp_c - 1 > cp_a) \
-            & (virtual_dn | ~((na_dn == cp_a) & (nb_dn == cp_b)))
+            # lines 6-7 / 8-9 head links: the path neighbor bounds the nearest
+            # chord on each side
+            bad_cp |= exists_above & ~((na_up == cp_c) & (nb_up == min_above))
+            bad_cp |= exists_below & ~((na_dn == max_below) & (nb_dn == cp_c))
+            # lines 10-11: the largest neighbor, when strictly inside [a, b],
+            # shares I(x); the largest is the topmost chord, else c + 1 (which is
+            # the virtual total + 1 — interval None, hence an outright reject —
+            # exactly at the last copy)
+            _, na_top, nb_top = interval_lookup(cp_v, max_above)
+            bad_cp |= exists_above & (max_above < cp_b) \
+                & ~((na_top == cp_a) & (nb_top == cp_b))
+            virtual_up = cp_c == cp_np
+            bad_cp |= ~exists_above & (cp_c + 1 < cp_b) \
+                & (virtual_up | ~((na_up == cp_a) & (nb_up == cp_b)))
+            # lines 12-13: symmetric for the smallest neighbor (virtual 0 at the
+            # first copy)
+            _, na_bot, nb_bot = interval_lookup(cp_v, min_below)
+            bad_cp |= exists_below & (min_below > cp_a) \
+                & ~((na_bot == cp_a) & (nb_bot == cp_b))
+            virtual_dn = cp_c == 1
+            bad_cp |= ~exists_below & (cp_c - 1 > cp_a) \
+                & (virtual_dn | ~((na_dn == cp_a) & (nb_dn == cp_b)))
 
-        # lines 14-17: neighbors whose interval is delimited by the copy must
-        # point at another neighbor and be strictly contained in I(x)
-        chord_member_keys = np.sort(cs_s * _INDEX_ENC + _enc_index(x_s))
+            # lines 14-17: neighbors whose interval is delimited by the copy must
+            # point at another neighbor and be strictly contained in I(x)
+            chord_member_keys = np.sort(cs_s * _INDEX_ENC + _enc_index(x_s))
 
-        def neighbor_member(slots: Any, copies: Any, others: Any) -> Any:
-            """Is ``others`` in the copy's neighbor set (path, virtual, chord)?"""
-            on_path = (others == copies - 1) | (others == copies + 1)
-            valid = (others >= 1) & (others < _INDEX_ENC)
-            _, found = _sorted_lookup(
-                chord_member_keys,
-                slots * _INDEX_ENC + np.where(valid, others, 0))
-            return on_path | (valid & found)
+            def neighbor_member(slots: Any, copies: Any, others: Any) -> Any:
+                """Is ``others`` in the copy's neighbor set (path, virtual, chord)?"""
+                on_path = (others == copies - 1) | (others == copies + 1)
+                valid = (others >= 1) & (others < _INDEX_ENC)
+                _, found = _sorted_lookup(
+                    chord_member_keys,
+                    slots * _INDEX_ENC + np.where(valid, others, 0))
+                return on_path | (valid & found)
 
-        copy_slots = np.arange(n_copies, dtype=np.int64)
-        for applicable, na_r, nb_r in (
-                ((cp_c - 1 >= 1) & down_found, na_dn, nb_dn),
-                ((cp_c + 1 <= cp_np) & up_found, na_up, nb_up)):
-            delimited = applicable & ((na_r == cp_c) | (nb_r == cp_c))
-            partner_r = np.where(na_r == cp_c, nb_r, na_r)
-            contained = neighbor_member(copy_slots, cp_c, partner_r) \
-                & (cp_a <= na_r) & (nb_r <= cp_b) \
-                & ~((na_r == cp_a) & (nb_r == cp_b))
-            bad_cp |= delimited & ~contained
-        delimited = x_found & ((na_x == cc_s) | (nb_x == cc_s))
-        partner_x = np.where(na_x == cc_s, nb_x, na_x)
-        contained = neighbor_member(cs_s, cc_s, partner_x) \
-            & (a_s <= na_x) & (nb_x <= b_s) & ~((na_x == a_s) & (nb_x == b_s))
-        bad_ch |= delimited & ~contained
+            copy_slots = np.arange(n_copies, dtype=np.int64)
+            for applicable, na_r, nb_r in (
+                    ((cp_c - 1 >= 1) & down_found, na_dn, nb_dn),
+                    ((cp_c + 1 <= cp_np) & up_found, na_up, nb_up)):
+                delimited = applicable & ((na_r == cp_c) | (nb_r == cp_c))
+                partner_r = np.where(na_r == cp_c, nb_r, na_r)
+                contained = neighbor_member(copy_slots, cp_c, partner_r) \
+                    & (cp_a <= na_r) & (nb_r <= cp_b) \
+                    & ~((na_r == cp_a) & (nb_r == cp_b))
+                bad_cp |= delimited & ~contained
+            delimited = x_found & ((na_x == cc_s) | (nb_x == cc_s))
+            partner_x = np.where(na_x == cc_s, nb_x, na_x)
+            contained = neighbor_member(cs_s, cc_s, partner_x) \
+                & (a_s <= na_x) & (nb_x <= b_s) & ~((na_x == a_s) & (nb_x == b_s))
+            bad_ch |= delimited & ~contained
 
-        accept &= ~scatter_any(bad_cp, cp_v, n)
-        accept &= ~scatter_any(bad_ch, node_s, n)
+            accept &= ~scatter_any(bad_cp, cp_v, n)
+            accept &= ~scatter_any(bad_ch, node_s, n)
         return accept, fallback
 
     @staticmethod

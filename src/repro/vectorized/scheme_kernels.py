@@ -45,6 +45,7 @@ from repro.baselines.universal import GraphMapCertificate, UniversalPlanaritySch
 from repro.core.building_blocks import HamiltonianPathLabel
 from repro.core.po_scheme import PathOuterplanarLabel, PathOuterplanarScheme
 from repro.graphs.planarity import is_planar
+from repro.observability.tracer import current as current_tracer
 from repro.vectorized.compiler import (
     HAVE_NUMPY,
     ID_LIMIT,
@@ -145,6 +146,8 @@ class PathOuterplanarKernel:
 
     def accept_vector(self, ctx: Any, scheme: Any,
                       certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        tracer = current_tracer()
+        prefix = "kernel:" + self.scheme_name + "/"
         table = compile_certificates(ctx, certificates, PathOuterplanarLabel,
                                      PATH_OUTERPLANAR_FIELDS)
         n = ctx.n
@@ -156,70 +159,77 @@ class PathOuterplanarKernel:
         rk_s, rk_d = rank[src], rank[dst]
         tot_s = total[src]
 
-        # part 1: the nested path labels form a spanning path
-        accept = hamiltonian_path_accept(ctx, table)
+        with tracer.span(prefix + "spanning_path"):
+            # part 1: the nested path labels form a spanning path
+            accept = hamiltonian_path_accept(ctx, table)
 
-        # line 4 prelude: every neighbor rank distinct from mine and in range
-        accept &= ~segment_any((rk_d == rk_s) | (rk_d <= 0) | (rk_d > tot_s),
-                               starts)
+            # line 4 prelude: every neighbor rank distinct from mine and in
+            # range
+            accept &= ~segment_any(
+                (rk_d == rk_s) | (rk_d <= 0) | (rk_d > tot_s), starts)
 
-        # duplicate neighbor ranks collapse in the rank->interval dict, which
-        # the verifier detects by the length mismatch
-        key = src * _INDEX_ENC + _enc_index(rk_d)
-        order = np.argsort(key)
-        k_sorted = key[order]
-        v_sorted = src[order]
-        r_sorted = rk_d[order]
-        a_sorted = ia[dst][order]
-        b_sorted = ib[dst][order]
-        m = len(dst)
-        dup = np.zeros(m, dtype=bool)
-        dup[1:] = k_sorted[1:] == k_sorted[:-1]
-        accept &= ~scatter_any(dup, v_sorted, n)
+        with tracer.span(prefix + "interval_chain"):
+            # duplicate neighbor ranks collapse in the rank->interval dict,
+            # which the verifier detects by the length mismatch
+            key = src * _INDEX_ENC + _enc_index(rk_d)
+            order = np.argsort(key)
+            k_sorted = key[order]
+            v_sorted = src[order]
+            r_sorted = rk_d[order]
+            a_sorted = ia[dst][order]
+            b_sorted = ib[dst][order]
+            m = len(dst)
+            dup = np.zeros(m, dtype=bool)
+            dup[1:] = k_sorted[1:] == k_sorted[:-1]
+            accept &= ~scatter_any(dup, v_sorted, n)
 
-        # path consistency: predecessor / successor rank among the neighbors
-        accept &= (rank <= 1) | segment_any(rk_d == rk_s - 1, starts)
-        accept &= (rank >= total) | segment_any(rk_d == rk_s + 1, starts)
+            # path consistency: predecessor / successor rank among neighbors
+            accept &= (rank <= 1) | segment_any(rk_d == rk_s - 1, starts)
+            accept &= (rank >= total) | segment_any(rk_d == rk_s + 1, starts)
 
-        # line 5: a < x < b and every neighbor inside [a, b]; the virtual
-        # vertices 0 and total+1 join their side's check (their other half
-        # is implied by a < rank < b)
-        accept &= (ia < rank) & (rank < ib)
-        accept &= segment_all((ia[src] <= rk_d) & (rk_d <= ib[src]), starts)
-        accept &= (rank != 1) | (ia <= 0)
-        accept &= (rank != total) | (total + 1 <= ib)
+            # line 5: a < x < b and every neighbor inside [a, b]; the virtual
+            # vertices 0 and total+1 join their side's check (their other
+            # half is implied by a < rank < b)
+            accept &= (ia < rank) & (rank < ib)
+            accept &= segment_all((ia[src] <= rk_d) & (rk_d <= ib[src]),
+                                  starts)
+            accept &= (rank != 1) | (ia <= 0)
+            accept &= (rank != total) | (total + 1 <= ib)
 
-        # both sides non-empty (the virtual vertex covers its end of the path)
-        above = rk_d > rk_s
-        below = rk_d < rk_s
-        exists_above = segment_any(above, starts)
-        exists_below = segment_any(below, starts)
-        accept &= exists_above | (rank == total)
-        accept &= exists_below | (rank == 1)
+            # both sides non-empty (the virtual vertex covers its end of the
+            # path)
+            above = rk_d > rk_s
+            below = rk_d < rk_s
+            exists_above = segment_any(above, starts)
+            exists_below = segment_any(below, starts)
+            accept &= exists_above | (rank == total)
+            accept &= exists_below | (rank == 1)
 
-        # lines 6-9: consecutive same-side neighbors chain their intervals;
-        # after the composite-key sort these are exactly the same-viewer
-        # adjacent pairs.  The virtual vertices never pair: a real neighbor
-        # on their side of the rank would be out of range.
-        same = v_sorted[1:] == v_sorted[:-1]
-        ctr = rank[v_sorted[1:]]
-        pair_above = same & (r_sorted[:-1] > ctr)
-        bad_up = pair_above & ~((a_sorted[:-1] == ctr)
-                                & (b_sorted[:-1] == r_sorted[1:]))
-        pair_below = same & (r_sorted[1:] < ctr)
-        bad_dn = pair_below & ~((a_sorted[1:] == r_sorted[:-1])
-                                & (b_sorted[1:] == ctr))
-        bad_pairs = np.zeros(m, dtype=bool)
-        bad_pairs[1:] = bad_up | bad_dn
-        accept &= ~scatter_any(bad_pairs, v_sorted, n)
+            # lines 6-9: consecutive same-side neighbors chain their
+            # intervals; after the composite-key sort these are exactly the
+            # same-viewer adjacent pairs.  The virtual vertices never pair: a
+            # real neighbor on their side of the rank would be out of range.
+            same = v_sorted[1:] == v_sorted[:-1]
+            ctr = rank[v_sorted[1:]]
+            pair_above = same & (r_sorted[:-1] > ctr)
+            bad_up = pair_above & ~((a_sorted[:-1] == ctr)
+                                    & (b_sorted[:-1] == r_sorted[1:]))
+            pair_below = same & (r_sorted[1:] < ctr)
+            bad_dn = pair_below & ~((a_sorted[1:] == r_sorted[:-1])
+                                    & (b_sorted[1:] == ctr))
+            bad_pairs = np.zeros(m, dtype=bool)
+            bad_pairs[1:] = bad_up | bad_dn
+            accept &= ~scatter_any(bad_pairs, v_sorted, n)
 
-        # (viewer, rank) -> interval map for the extreme and membership probes
-        is_first = np.empty(m, dtype=bool)
-        is_first[:1] = True
-        is_first[1:] = ~dup[1:]
-        map_keys = k_sorted[is_first]
-        map_a = a_sorted[is_first]
-        map_b = b_sorted[is_first]
+        with tracer.span(prefix + "interval_map"):
+            # (viewer, rank) -> interval map for the extreme and membership
+            # probes
+            is_first = np.empty(m, dtype=bool)
+            is_first[:1] = True
+            is_first[1:] = ~dup[1:]
+            map_keys = k_sorted[is_first]
+            map_a = a_sorted[is_first]
+            map_b = b_sorted[is_first]
 
         def interval_of(viewers: Any, queries: Any) -> tuple[Any, Any, Any]:
             valid = (queries >= 1) & (queries < _INDEX_ENC)
@@ -227,37 +237,39 @@ class PathOuterplanarKernel:
                 map_keys, viewers * _INDEX_ENC + np.where(valid, queries, 0))
             return found & valid, map_a[pos], map_b[pos]
 
-        max_above = np.full(n, _INT64_MIN)
-        np.maximum.at(max_above, src[above], rk_d[above])
-        min_below = np.full(n, _INT64_MAX)
-        np.minimum.at(min_below, src[below], rk_d[below])
-        rows = np.arange(n, dtype=np.int64)
+        with tracer.span(prefix + "extremes"):
+            max_above = np.full(n, _INT64_MIN)
+            np.maximum.at(max_above, src[above], rk_d[above])
+            min_below = np.full(n, _INT64_MAX)
+            np.minimum.at(min_below, src[below], rk_d[below])
+            rows = np.arange(n, dtype=np.int64)
 
-        # lines 10-11: the largest neighbor strictly inside [a, b] shares
-        # I(x); at rank == total that neighbor is the virtual total+1, whose
-        # interval is [-inf, +inf] and never equals (a, b)
-        top_found, top_a, top_b = interval_of(rows, max_above)
-        accept &= ~((rank == total) & (total + 1 < ib))
-        accept &= ~((rank != total) & exists_above & (max_above < ib)
-                    & ~(top_found & (top_a == ia) & (top_b == ib)))
+            # lines 10-11: the largest neighbor strictly inside [a, b] shares
+            # I(x); at rank == total that neighbor is the virtual total+1,
+            # whose interval is [-inf, +inf] and never equals (a, b)
+            top_found, top_a, top_b = interval_of(rows, max_above)
+            accept &= ~((rank == total) & (total + 1 < ib))
+            accept &= ~((rank != total) & exists_above & (max_above < ib)
+                        & ~(top_found & (top_a == ia) & (top_b == ib)))
 
-        # lines 12-13: symmetric for the smallest neighbor
-        bot_found, bot_a, bot_b = interval_of(rows, min_below)
-        accept &= ~((rank == 1) & (ia < 0))
-        accept &= ~((rank != 1) & exists_below & (min_below > ia)
-                    & ~(bot_found & (bot_a == ia) & (bot_b == ib)))
+            # lines 12-13: symmetric for the smallest neighbor
+            bot_found, bot_a, bot_b = interval_of(rows, min_below)
+            accept &= ~((rank == 1) & (ia < 0))
+            accept &= ~((rank != 1) & exists_below & (min_below > ia)
+                        & ~(bot_found & (bot_a == ia) & (bot_b == ib)))
 
-        # lines 14-17: a neighbor interval delimited by my rank must end at
-        # another neighbor (virtuals included) and sit strictly inside I(x)
-        na, nb = ia[dst], ib[dst]
-        delimited = (na == rk_s) | (nb == rk_s)
-        other = np.where(na == rk_s, nb, na)
-        member = interval_of(src, other)[0]
-        member |= (other == 0) & (rk_s == 1)
-        member |= (other == tot_s + 1) & (rk_s == tot_s)
-        contained = (ia[src] <= na) & (nb <= ib[src]) \
-            & ~((na == ia[src]) & (nb == ib[src]))
-        accept &= segment_all(~delimited | (member & contained), starts)
+            # lines 14-17: a neighbor interval delimited by my rank must end
+            # at another neighbor (virtuals included) and sit strictly inside
+            # I(x)
+            na, nb = ia[dst], ib[dst]
+            delimited = (na == rk_s) | (nb == rk_s)
+            other = np.where(na == rk_s, nb, na)
+            member = interval_of(src, other)[0]
+            member |= (other == 0) & (rk_s == 1)
+            member |= (other == tot_s + 1) & (rk_s == tot_s)
+            contained = (ia[src] <= na) & (nb <= ib[src]) \
+                & ~((na == ia[src]) & (nb == ib[src]))
+            accept &= segment_all(~delimited | (member & contained), starts)
 
         return accept, view_fallback(ctx, table)
 
@@ -330,6 +342,8 @@ class UniversalMapKernel:
 
     def accept_vector(self, ctx: Any, scheme: Any,
                       certificates: dict[Any, Any]) -> tuple[Any, Any]:
+        tracer = current_tracer()
+        prefix = "kernel:" + self.scheme_name + "/"
         n = ctx.n
         src, dst, starts = ctx.src, ctx.dst, ctx.starts
         present = np.zeros(n, dtype=bool)
@@ -339,29 +353,32 @@ class UniversalMapKernel:
         reps: list[GraphMapCertificate] = []
         holders_of: list[list[int]] = []
         get = certificates.get
-        for i, label in enumerate(ctx.labels):
-            certificate = get(label)
-            if certificate is None:
-                continue
-            if type(certificate) is not GraphMapCertificate:
-                unrep[i] = True
-                continue
-            content = certificate.__dict__.get(_CONTENT_KEY, _MISSING)
-            if content is _MISSING:
-                content = _graphmap_content(certificate)
-                certificate.__dict__[_CONTENT_KEY] = content
-            if content is None:
-                unrep[i] = True
-                continue
-            u = interned.get(content)
-            if u is None:
-                u = len(reps)
-                interned[content] = u
-                reps.append(certificate)
-                holders_of.append([])
-            present[i] = True
-            uid[i] = u
-            holders_of[u].append(i)
+        with tracer.span(prefix + "intern") as sp:
+            for i, label in enumerate(ctx.labels):
+                certificate = get(label)
+                if certificate is None:
+                    continue
+                if type(certificate) is not GraphMapCertificate:
+                    unrep[i] = True
+                    continue
+                content = certificate.__dict__.get(_CONTENT_KEY, _MISSING)
+                if content is _MISSING:
+                    content = _graphmap_content(certificate)
+                    certificate.__dict__[_CONTENT_KEY] = content
+                if content is None:
+                    unrep[i] = True
+                    continue
+                u = interned.get(content)
+                if u is None:
+                    u = len(reps)
+                    interned[content] = u
+                    reps.append(certificate)
+                    holders_of.append([])
+                present[i] = True
+                uid[i] = u
+                holders_of[u].append(i)
+            if sp:
+                sp.set(distinct_maps=len(reps))
 
         fallback = unrep | segment_any(unrep[dst], starts)
         # own map present; every neighbor carries the *same* map
@@ -371,6 +388,16 @@ class UniversalMapKernel:
         ids = ctx.node_ids
         degrees = ctx.degrees
         planar_key = f"_vectorized_graphmap_planar_{scheme.backend}"
+        with tracer.span(prefix + "map_checks"):
+            self._check_maps(ctx, scheme, reps, holders_of, accept, fallback,
+                             ids, degrees, planar_key, starts, dst)
+        return accept, fallback
+
+    @staticmethod
+    def _check_maps(ctx: Any, scheme: Any, reps: list, holders_of: list,
+                    accept: Any, fallback: Any, ids: Any, degrees: Any,
+                    planar_key: str, starts: Any, dst: Any) -> None:
+        """Per-distinct-map neighborhood and planarity checks (in place)."""
         for u, rep in enumerate(reps):
             holders = np.array(holders_of[u], dtype=np.int64)
             alive = accept[holders]
@@ -428,7 +455,6 @@ class UniversalMapKernel:
                 fallback[survivors] = True
             elif not planar:
                 accept[survivors] = False
-        return accept, fallback
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +551,14 @@ class DMAMRoundKernel:
 
     def compile_prepared(self, ctx: Any, prepared: list) -> CompiledPrepared:
         """Compile per-node prepared states (aligned with ``ctx.labels``)."""
+        with current_tracer().span(
+                "kernel:" + self.scheme_name + "/compile_prepared") as sp:
+            if sp:
+                sp.set(nodes=int(ctx.n))
+            return self._compile_prepared(ctx, prepared)
+
+    @staticmethod
+    def _compile_prepared(ctx: Any, prepared: list) -> CompiledPrepared:
         n = ctx.n
         status = np.zeros(n, dtype=np.int8)
         is_root = np.zeros(n, dtype=bool)
@@ -564,6 +598,8 @@ class DMAMRoundKernel:
                      second: dict[Any, Any],
                      challenges: dict[Any, int]) -> tuple[Any, Any]:
         """One verification round: ``(accept, fallback)`` over the nodes."""
+        tracer = current_tracer()
+        prefix = "kernel:" + self.scheme_name + "/"
         table = compile_certificates(ctx, second, DMAMSecondMessage,
                                      DMAM_SECOND_FIELDS)
         n = ctx.n
@@ -572,39 +608,45 @@ class DMAMRoundKernel:
         z = table.columns["global_point"]
         push_claim = table.columns["push_product_subtree"]
         pop_claim = table.columns["pop_product_subtree"]
-        # keyed by node like the reference loop, including its KeyError for
-        # missing nodes; the reduction runs only at roots, where the
-        # reference performs it (a non-root garbage value must not raise)
-        challenge = np.zeros(n, dtype=np.int64)
-        is_root = compiled.is_root
-        for i, label in enumerate(ctx.labels):
-            value = challenges[label]
-            if is_root[i]:
-                challenge[i] = value % FIELD_PRIME
+        with tracer.span(prefix + "coin_relay"):
+            # keyed by node like the reference loop, including its KeyError
+            # for missing nodes; the reduction runs only at roots, where the
+            # reference performs it (a non-root garbage value must not raise)
+            challenge = np.zeros(n, dtype=np.int64)
+            is_root = compiled.is_root
+            for i, label in enumerate(ctx.labels):
+                value = challenges[label]
+                if is_root[i]:
+                    challenge[i] = value % FIELD_PRIME
 
-        # coin relay: every neighbor well-typed with the same raw z; the
-        # root's coin must match its challenge
-        ok = present & segment_all(present[dst], starts)
-        ok &= segment_all(z[dst] == z[src], starts)
-        ok &= ~(compiled.is_root & (z != challenge))
+            # coin relay: every neighbor well-typed with the same raw z; the
+            # root's coin must match its challenge
+            ok = present & segment_all(present[dst], starts)
+            ok &= segment_all(z[dst] == z[src], starts)
+            ok &= ~(compiled.is_root & (z != challenge))
 
-        # fingerprint factors: prod (z - event) over my pre-encoded events
-        zr = np.mod(z, FIELD_PRIME)
-        push_factor = _segment_prod_mod(
-            np.mod(zr[compiled.push_nodes] - compiled.push_events, FIELD_PRIME),
-            compiled.push_nodes, n)
-        pop_factor = _segment_prod_mod(
-            np.mod(zr[compiled.pop_nodes] - compiled.pop_events, FIELD_PRIME),
-            compiled.pop_nodes, n)
+        with tracer.span(prefix + "fingerprint"):
+            # fingerprint factors: prod (z - event) over my pre-encoded
+            # events
+            zr = np.mod(z, FIELD_PRIME)
+            push_factor = _segment_prod_mod(
+                np.mod(zr[compiled.push_nodes] - compiled.push_events,
+                       FIELD_PRIME),
+                compiled.push_nodes, n)
+            pop_factor = _segment_prod_mod(
+                np.mod(zr[compiled.pop_nodes] - compiled.pop_events,
+                       FIELD_PRIME),
+                compiled.pop_nodes, n)
 
-        # subtree products: mine equals my factor times my children's claims
-        child = compiled.child_edge
-        expected_push = mulmod_p61(push_factor, _segment_prod_mod(
-            np.mod(push_claim[dst[child]], FIELD_PRIME), src[child], n))
-        expected_pop = mulmod_p61(pop_factor, _segment_prod_mod(
-            np.mod(pop_claim[dst[child]], FIELD_PRIME), src[child], n))
-        ok &= (push_claim == expected_push) & (pop_claim == expected_pop)
-        ok &= ~compiled.compares_global | (push_claim == pop_claim)
+            # subtree products: mine equals my factor times my children's
+            # claims
+            child = compiled.child_edge
+            expected_push = mulmod_p61(push_factor, _segment_prod_mod(
+                np.mod(push_claim[dst[child]], FIELD_PRIME), src[child], n))
+            expected_pop = mulmod_p61(pop_factor, _segment_prod_mod(
+                np.mod(pop_claim[dst[child]], FIELD_PRIME), src[child], n))
+            ok &= (push_claim == expected_push) & (pop_claim == expected_pop)
+            ok &= ~compiled.compares_global | (push_claim == pop_claim)
 
         # single-node states accept on own typing alone; reject states veto
         accept = np.where(compiled.status == 2, present, ok)

@@ -524,12 +524,36 @@ class TestBackendCounters:
         assert counters["fallback_networks"] == 1
         assert counters["kernel_calls"] == 0
 
-    def test_reference_backend_counts_nothing(self):
+    def test_reference_backend_counts_reference_passes(self):
+        # the reference path reports through the same counter surface as the
+        # kernels (previously it counted nothing, so mixed-backend
+        # comparisons carried stale vectorized counts)
         engine = SimulationEngine(backend="reference")
         scheme = default_registry().create("tree-pls")
         network = Network(yes_instance("tree-pls"), seed=1)
         engine.verify(scheme, network, scheme.prove(network))
+        counters = engine.backend_counters
+        assert counters["reference_calls"] == 1
+        assert counters["reference_nodes"] == network.size
+        for key in ("kernel_calls", "kernel_nodes",
+                    "fallback_nodes", "fallback_networks"):
+            assert counters[key] == 0
+        engine.reset_backend_counters()
         assert all(value == 0 for value in engine.backend_counters.values())
+
+    def test_wholesale_fallback_counts_a_reference_pass(self):
+        # a vectorized-backend call the kernels cannot serve runs the
+        # reference loop wholesale and must show up on both counters
+        scheme = default_registry().create("universal-map-pls")
+        bare = SchemeRegistry()
+        bare.register(type(scheme).name, type(scheme))
+        engine = SimulationEngine(backend="vectorized", kernel_registry=bare)
+        network = Network(delaunay_planar_graph(16, seed=4), seed=4)
+        engine.verify(scheme, network, scheme.prove(network))
+        counters = engine.backend_counters
+        assert counters["fallback_networks"] == 1
+        assert counters["reference_calls"] == 1
+        assert counters["reference_nodes"] == network.size
 
 
 # ----------------------------------------------------------------------
@@ -920,7 +944,10 @@ class TestBatchedSweeps:
         for (network, certificates), result in zip(items, results):
             assert result.decisions == \
                 run_verification(scheme, network, certificates).decisions
-        assert all(value == 0 for value in engine.backend_counters.values())
+        counters = engine.backend_counters
+        assert counters["kernel_calls"] == 0
+        assert counters["fallback_networks"] == 0
+        assert counters["reference_calls"] == len(items)
 
     def test_single_item_batch_uses_per_network_path(self):
         scheme = default_registry().create("tree-pls")
