@@ -25,6 +25,7 @@ REQUIRED = (
     "docs/ARCHITECTURE.md",
     "docs/KERNELS.md",
     "docs/OBSERVABILITY.md",
+    "docs/ADVERSARY.md",
 )
 
 

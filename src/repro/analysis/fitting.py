@@ -14,7 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["ScalingFit", "fit_log_scaling", "fit_nlog_scaling"]
+__all__ = ["ScalingFit", "fit_log_scaling", "fit_nlog_scaling",
+           "fit_inverse_scaling"]
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,12 @@ class ScalingFit:
 
     def predict(self, n: int) -> float:
         """Return the fitted value at ``n``."""
-        value = math.log2(n) if self.basis == "log2(n)" else n * math.log2(n)
+        if self.basis == "log2(n)":
+            value = math.log2(n)
+        elif self.basis == "1/p":
+            value = 1.0 / n
+        else:
+            value = n * math.log2(n)
         return self.slope * value + self.intercept
 
 
@@ -60,3 +66,17 @@ def fit_nlog_scaling(sizes: list[int], bits: list[float]) -> ScalingFit:
     xs = [n * math.log2(n) for n in sizes]
     slope, intercept, r_squared = _least_squares(xs, list(bits))
     return ScalingFit(basis="n*log2(n)", slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def fit_inverse_scaling(primes: list[int], errors: list[float]) -> ScalingFit:
+    """Fit ``error ~ slope / p + intercept`` (the dMAM soundness shape).
+
+    The fingerprint-bound experiment varies the field size ``p`` holding
+    the instance fixed; the measured per-draw error of the cheating prover
+    must then scale like ``|roots| / p``, so the fitted slope approximates
+    the number of fooling points and the intercept should sit near zero.
+    """
+    xs = [1.0 / p for p in primes]
+    slope, intercept, r_squared = _least_squares(xs, list(errors))
+    return ScalingFit(basis="1/p", slope=slope, intercept=intercept,
+                      r_squared=r_squared)

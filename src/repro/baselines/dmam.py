@@ -102,9 +102,18 @@ def chord_scan_heights(chords: list[tuple[int, int]],
     return push_height, pop_height
 
 
-def _encode_chord_event(low: int, high: int, height: int, path_length: int) -> int:
-    """Injective encoding of a (chord, stack height) pair into the field."""
-    return ((low * (path_length + 2) + high) * (path_length + 2) + height) % FIELD_PRIME
+def _encode_chord_event(low: int, high: int, height: int, path_length: int,
+                        prime: int = FIELD_PRIME) -> int:
+    """Encoding of a (chord, stack height) pair into the field.
+
+    Injective whenever ``prime > (path_length + 2)**2 * (path_length + 2)``
+    (always true for the default 61-bit prime at every realistic size).  For
+    deliberately small experiment primes the reduction can collide; the
+    ``m/p`` soundness bound survives collisions as long as the two global
+    event multisets stay distinct, which the cheating-prover experiments
+    check exactly (see :mod:`repro.adversary.cheating`).
+    """
+    return ((low * (path_length + 2) + high) * (path_length + 2) + height) % prime
 
 
 @dataclass(frozen=True)
@@ -151,8 +160,14 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
     randomized = True
     challenge_bits = 61
 
-    def __init__(self, embedding_backend: str = "networkx") -> None:
+    def __init__(self, embedding_backend: str = "networkx",
+                 field_prime: int = FIELD_PRIME) -> None:
+        if field_prime < 2:
+            raise ValueError("field_prime must be a prime >= 2")
         self.embedding_backend = embedding_backend
+        #: fingerprint field size; the soundness error scales as ``m / p``,
+        #: so experiments shrink it deliberately to make the error measurable
+        self.field_prime = field_prime
 
     # ------------------------------------------------------------------
     def is_member(self, graph: Graph) -> bool:
@@ -176,6 +191,22 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
         if not self.is_member(graph):
             raise NotInClassError("the network is not planar")
         decomposition = cut_open(graph, embedding_backend=self.embedding_backend)
+        messages = self.messages_from_decomposition(network, decomposition)
+        self._last_decomposition = decomposition
+        return FirstTurn(messages=messages, state=decomposition)
+
+    def messages_from_decomposition(self, network: Network,
+                                    decomposition) -> dict[Node, DMAMFirstMessage]:
+        """Turn-1 messages committing to an explicit cut-open decomposition.
+
+        The honest :meth:`first_turn` passes a genuine planar decomposition;
+        the cheating prover of :mod:`repro.adversary.cheating` passes a
+        *pseudo*-decomposition built from an arbitrary rotation system of a
+        non-planar graph, whose crossing chords only the fingerprints can
+        catch.  Both commit stack heights consistent with their own chord
+        family, so every deterministic structural check passes either way.
+        """
+        graph = network.graph
         n_path = decomposition.path_length
         chords = decomposition.chord_intervals()
 
@@ -221,8 +252,7 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
             my_heights = tuple((index, heights[index])
                                for index in decomposition.mapping.copies[node])
             messages[node] = DMAMFirstMessage(structure=structure, stack_heights=my_heights)
-        self._last_decomposition = decomposition
-        return FirstTurn(messages=messages, state=decomposition)
+        return messages
 
     # ------------------------------------------------------------------
     # Merlin, turn 2 (after Arthur's coins)
@@ -238,9 +268,10 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
 
     def _second_from(self, decomposition, network: Network,
                      challenges: dict[Node, int]) -> dict[Node, DMAMSecondMessage]:
+        prime = self.field_prime
         tree = decomposition.tree
         root = tree.root
-        z = challenges[root] % FIELD_PRIME
+        z = challenges[root] % prime
         n_path = decomposition.path_length
 
         # run the sequential chord scan to obtain every chord's push/pop height
@@ -257,12 +288,14 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
             high_owner = f[high]
             push_factor[low_owner] = (
                 push_factor[low_owner]
-                * (z - _encode_chord_event(low, high, push_height[(low, high)], n_path))
-            ) % FIELD_PRIME
+                * (z - _encode_chord_event(low, high, push_height[(low, high)],
+                                           n_path, prime))
+            ) % prime
             pop_factor[high_owner] = (
                 pop_factor[high_owner]
-                * (z - _encode_chord_event(low, high, pop_height[(low, high)], n_path))
-            ) % FIELD_PRIME
+                * (z - _encode_chord_event(low, high, pop_height[(low, high)],
+                                           n_path, prime))
+            ) % prime
 
         # aggregate the factors bottom-up along the spanning tree
         push_subtree = dict(push_factor)
@@ -271,8 +304,8 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
         for node in order:
             parent = tree.parent(node)
             if parent is not None:
-                push_subtree[parent] = (push_subtree[parent] * push_subtree[node]) % FIELD_PRIME
-                pop_subtree[parent] = (pop_subtree[parent] * pop_subtree[node]) % FIELD_PRIME
+                push_subtree[parent] = (push_subtree[parent] * push_subtree[node]) % prime
+                pop_subtree[parent] = (pop_subtree[parent] * pop_subtree[node]) % prime
 
         return {
             node: DMAMSecondMessage(global_point=z,
@@ -369,6 +402,7 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
             # the local tie-breaking orders (pops innermost-first, pushes
             # outermost-first); the encodings are challenge-independent, the
             # factors ``prod (z - event)`` are formed at challenge time
+            prime = self.field_prime
             push_events: list[int] = []
             pop_events: list[int] = []
             for index in structure.copies:
@@ -379,11 +413,13 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
                                   if other > index), reverse=True)
                 running = height_before
                 for other in closers:
-                    pop_events.append(_encode_chord_event(other, index, running, n_path))
+                    pop_events.append(_encode_chord_event(other, index, running,
+                                                          n_path, prime))
                     running -= 1
                 for other in openers:
                     running += 1
-                    push_events.append(_encode_chord_event(index, other, running, n_path))
+                    push_events.append(_encode_chord_event(index, other, running,
+                                                           n_path, prime))
         except (TypeError, ValueError):
             return _REJECT
 
@@ -396,6 +432,7 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
             child_ids=child_ids,
             push_events=tuple(push_events),
             pop_events=tuple(pop_events),
+            field_prime=prime,
         )
 
     def verify_with_state(self, state: Any, view: LocalView, challenge: int,
@@ -424,24 +461,25 @@ class PlanarityDMAMProtocol(InteractiveProtocol):
         z = second.global_point
         if any(neighbor.global_point != z for neighbor in neighbor_second.values()):
             return False
-        if state.is_root and z != challenge % FIELD_PRIME:
+        prime = state.field_prime
+        if state.is_root and z != challenge % prime:
             return False
 
         push_factor = 1
         for event in state.push_events:
-            push_factor = (push_factor * (z - event)) % FIELD_PRIME
+            push_factor = (push_factor * (z - event)) % prime
         pop_factor = 1
         for event in state.pop_events:
-            pop_factor = (pop_factor * (z - event)) % FIELD_PRIME
+            pop_factor = (pop_factor * (z - event)) % prime
 
         # subtree products: mine must equal my factor times my children's products
         expected_push = push_factor
         expected_pop = pop_factor
         for child_id in state.child_ids:
             expected_push = (expected_push
-                             * neighbor_second[child_id].push_product_subtree) % FIELD_PRIME
+                             * neighbor_second[child_id].push_product_subtree) % prime
             expected_pop = (expected_pop
-                            * neighbor_second[child_id].pop_product_subtree) % FIELD_PRIME
+                            * neighbor_second[child_id].pop_product_subtree) % prime
         if second.push_product_subtree != expected_push:
             return False
         if second.pop_product_subtree != expected_pop:
@@ -470,9 +508,13 @@ class _PreparedVerifier:
     compares_global: bool
     child_ids: tuple[int, ...]
     #: pre-encoded chord events; the fingerprint factors are
-    #: ``prod (z - event) mod FIELD_PRIME`` over these
+    #: ``prod (z - event) mod field_prime`` over these
     push_events: tuple[int, ...]
     pop_events: tuple[int, ...]
+    #: the field the protocol instance fingerprints over; rides here so the
+    #: vectorized round kernel (which never sees the protocol object) can
+    #: reduce with the same modulus
+    field_prime: int = FIELD_PRIME
 
 
 def _first_components_view(view: LocalView) -> LocalView:

@@ -490,8 +490,21 @@ def mulmod_p61(a: Any, b: Any) -> Any:
     return total % FIELD_PRIME
 
 
-def _segment_prod_mod(values: Any, segments: Any, n: int) -> Any:
-    """Per-segment product mod ``FIELD_PRIME`` (values in ``[0, p)``).
+def _mulmod(a: Any, b: Any, prime: int) -> Any:
+    """Exact ``(a * b) % prime`` on int64 arrays, operands in ``[0, prime)``.
+
+    Two exact regimes: the Mersenne prime uses the bit-split fold above, and
+    any prime below ``2**31`` multiplies directly (the product stays below
+    ``2**62``, inside int64).  ``supports()`` admits nothing else.
+    """
+    if prime == FIELD_PRIME:
+        return mulmod_p61(a, b)
+    return (a * b) % prime
+
+
+def _segment_prod_mod(values: Any, segments: Any, n: int,
+                      prime: int = FIELD_PRIME) -> Any:
+    """Per-segment product mod ``prime`` (values in ``[0, prime)``).
 
     ``segments`` must be non-decreasing (both callers walk CSR-ordered
     arrays); round ``k`` folds every segment's ``k``-th element in, so the
@@ -505,7 +518,7 @@ def _segment_prod_mod(values: Any, segments: Any, n: int) -> Any:
     np.cumsum(counts, out=offsets[1:])
     for k in range(int(counts.max())):
         nodes = np.nonzero(counts > k)[0]
-        out[nodes] = mulmod_p61(out[nodes], values[offsets[nodes] + k])
+        out[nodes] = _mulmod(out[nodes], values[offsets[nodes] + k], prime)
     return out
 
 
@@ -529,6 +542,9 @@ class CompiledPrepared:
     pop_events: Any
     #: per directed edge: the target is a spanning-tree child of the source
     child_edge: Any
+    #: field modulus the prepared states fingerprint over (uniform across
+    #: the assignment: one protocol instance prepared them all)
+    field_prime: int = FIELD_PRIME
 
 
 class DMAMRoundKernel:
@@ -547,7 +563,12 @@ class DMAMRoundKernel:
     coverage = "round"
 
     def supports(self, protocol: Any) -> bool:
-        return type(protocol) is PlanarityDMAMProtocol
+        if type(protocol) is not PlanarityDMAMProtocol:
+            return False
+        # the two moduli with an exact int64 multiply (see _mulmod); other
+        # primes fall back to the reference round, decision-preserving
+        prime = getattr(protocol, "field_prime", FIELD_PRIME)
+        return prime == FIELD_PRIME or prime < (1 << 31)
 
     def compile_prepared(self, ctx: Any, prepared: list) -> CompiledPrepared:
         """Compile per-node prepared states (aligned with ``ctx.labels``)."""
@@ -568,6 +589,7 @@ class DMAMRoundKernel:
         pop_nodes: list[int] = []
         pop_events: list[int] = []
         child_edge = np.zeros(len(ctx.dst), dtype=bool)
+        field_prime = FIELD_PRIME
         ids, indptr, dst = ctx.node_ids, ctx.indptr, ctx.dst
         for i, state in enumerate(prepared):
             if state is _REJECT:
@@ -578,6 +600,7 @@ class DMAMRoundKernel:
                 continue
             is_root[i] = state.is_root
             compares[i] = state.compares_global
+            field_prime = state.field_prime
             push_nodes.extend([i] * len(state.push_events))
             push_events.extend(state.push_events)
             pop_nodes.extend([i] * len(state.pop_events))
@@ -592,7 +615,7 @@ class DMAMRoundKernel:
             push_events=np.array(push_events, dtype=np.int64),
             pop_nodes=np.array(pop_nodes, dtype=np.int64),
             pop_events=np.array(pop_events, dtype=np.int64),
-            child_edge=child_edge)
+            child_edge=child_edge, field_prime=field_prime)
 
     def accept_round(self, ctx: Any, compiled: CompiledPrepared,
                      second: dict[Any, Any],
@@ -608,6 +631,7 @@ class DMAMRoundKernel:
         z = table.columns["global_point"]
         push_claim = table.columns["push_product_subtree"]
         pop_claim = table.columns["pop_product_subtree"]
+        prime = compiled.field_prime
         with tracer.span(prefix + "coin_relay"):
             # keyed by node like the reference loop, including its KeyError
             # for missing nodes; the reduction runs only at roots, where the
@@ -617,7 +641,7 @@ class DMAMRoundKernel:
             for i, label in enumerate(ctx.labels):
                 value = challenges[label]
                 if is_root[i]:
-                    challenge[i] = value % FIELD_PRIME
+                    challenge[i] = value % prime
 
             # coin relay: every neighbor well-typed with the same raw z; the
             # root's coin must match its challenge
@@ -628,23 +652,23 @@ class DMAMRoundKernel:
         with tracer.span(prefix + "fingerprint"):
             # fingerprint factors: prod (z - event) over my pre-encoded
             # events
-            zr = np.mod(z, FIELD_PRIME)
+            zr = np.mod(z, prime)
             push_factor = _segment_prod_mod(
-                np.mod(zr[compiled.push_nodes] - compiled.push_events,
-                       FIELD_PRIME),
-                compiled.push_nodes, n)
+                np.mod(zr[compiled.push_nodes] - compiled.push_events, prime),
+                compiled.push_nodes, n, prime)
             pop_factor = _segment_prod_mod(
-                np.mod(zr[compiled.pop_nodes] - compiled.pop_events,
-                       FIELD_PRIME),
-                compiled.pop_nodes, n)
+                np.mod(zr[compiled.pop_nodes] - compiled.pop_events, prime),
+                compiled.pop_nodes, n, prime)
 
             # subtree products: mine equals my factor times my children's
             # claims
             child = compiled.child_edge
-            expected_push = mulmod_p61(push_factor, _segment_prod_mod(
-                np.mod(push_claim[dst[child]], FIELD_PRIME), src[child], n))
-            expected_pop = mulmod_p61(pop_factor, _segment_prod_mod(
-                np.mod(pop_claim[dst[child]], FIELD_PRIME), src[child], n))
+            expected_push = _mulmod(push_factor, _segment_prod_mod(
+                np.mod(push_claim[dst[child]], prime), src[child], n, prime),
+                prime)
+            expected_pop = _mulmod(pop_factor, _segment_prod_mod(
+                np.mod(pop_claim[dst[child]], prime), src[child], n, prime),
+                prime)
             ok &= (push_claim == expected_push) & (pop_claim == expected_pop)
             ok &= ~compiled.compares_global | (push_claim == pop_claim)
 

@@ -11,6 +11,11 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+from repro.adversary.corruption import (
+    corrupt_assignment,
+    int_fields,
+    mutate_nested_certificate,
+)
 from repro.core.building_blocks import PathGraphScheme, TreeScheme
 from repro.core.nonplanarity_scheme import NonPlanarityScheme, SubdivisionRole
 from repro.core.planarity_scheme import PlanarityScheme
@@ -572,239 +577,13 @@ def _fuzz_graphs():
     ]
 
 
-def _int_fields(certificate):
-    """Fields declared as (optional) ints.  Nested structure is mutated
-    separately: swapping e.g. a composite certificate's ``role`` for an int
-    would make the reference verifier raise rather than decide."""
-    return [f.name for f in dataclasses.fields(certificate)
-            if str(f.type).startswith("int")]
-
-
-def _mutate_nested(certificate, rng):
-    """One structure-aware mutation of a composite (paper-scheme) certificate.
-
-    Returns ``None`` when the certificate has no nested structure to mutate
-    (the building-block labels), letting the caller fall through to the flat
-    field tweaks.
-    """
-    choices = []
-    st = getattr(certificate, "spanning_tree", None)
-    if st is not None and dataclasses.is_dataclass(st):
-        def tweak_st():
-            field = rng.choice(_int_fields(st))
-            values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
-            if field == "parent_id":
-                values.append(None)
-            return dataclasses.replace(certificate, spanning_tree=dataclasses.replace(
-                st, **{field: rng.choice(values)}))
-        choices.append(tweak_st)
-    branch_ids = getattr(certificate, "branch_ids", None)
-    if isinstance(branch_ids, tuple):
-        def tweak_branch():
-            ids = list(branch_ids)
-            op = rng.randrange(3)
-            if op == 0 and ids:  # overwrite a slot (possibly duplicating one,
-                # or planting a None *inside* the tuple — unrepresentable, so
-                # the None-vs-0 column encoding is never trusted with it)
-                ids[rng.randrange(len(ids))] = rng.choice(
-                    [None, 0, ids[0], rng.randrange(1 << 20), (1 << 70)])
-            elif op == 1:  # grow past the expected width
-                ids.append(rng.randrange(1 << 20))
-            elif ids:  # shrink below it
-                ids.pop()
-            return dataclasses.replace(certificate, branch_ids=tuple(ids))
-        choices.append(tweak_branch)
-    if hasattr(certificate, "role"):
-        role = certificate.role
-
-        def tweak_role():
-            op = rng.randrange(4)
-            if op == 0:
-                return dataclasses.replace(certificate, role=None)
-            if op == 1:
-                return dataclasses.replace(certificate, role=SubdivisionRole.branch(
-                    rng.choice([-1, 0, 1, 2, 3, 4, 5, 6])))
-            if op == 2:
-                low, high = sorted(rng.sample(range(6), 2))
-                return dataclasses.replace(certificate, role=SubdivisionRole.internal(
-                    low, high, rng.randrange(0, 5),
-                    rng.randrange(1 << 20), rng.randrange(1 << 20)))
-            if role is not None:
-                field = rng.choice(_int_fields(role))
-                return dataclasses.replace(certificate, role=dataclasses.replace(
-                    role, **{field: rng.choice([None, -1, 0, 1, 3, (1 << 70)])}))
-            return dataclasses.replace(certificate, role=None)
-        choices.append(tweak_role)
-    edge_certs = getattr(certificate, "edge_certificates", None)
-    if isinstance(edge_certs, tuple):
-        def tweak_edges():
-            entries = list(edge_certs)
-            op = rng.randrange(4)
-            if op == 0:
-                return dataclasses.replace(certificate, edge_certificates=())
-            if op == 1 and entries:  # drop one entry (breaks edge coverage)
-                entries.pop(rng.randrange(len(entries)))
-            elif op == 2 and entries:  # flip a tree edge's orientation, or
-                # retarget a cotree endpoint
-                index = rng.randrange(len(entries))
-                entry = entries[index]
-                if entry.is_tree_edge:
-                    entries[index] = dataclasses.replace(
-                        entry, parent_id=entry.child_id, child_id=entry.parent_id)
-                else:
-                    entries[index] = dataclasses.replace(
-                        entry, a_id=rng.randrange(1 << 20))
-            else:  # blow past the degeneracy cap
-                entries = entries * 3
-            return dataclasses.replace(certificate,
-                                       edge_certificates=tuple(entries))
-        choices.append(tweak_edges)
-
-        def tweak_entry_payload():
-            """Target the phases vectorized in PR 5: interval entries, the
-            DFS-mapping indices, and the chord copies of one edge
-            certificate."""
-            entries = list(edge_certs)
-            if not entries:
-                return dataclasses.replace(certificate, edge_certificates=())
-            index = rng.randrange(len(entries))
-            entry = entries[index]
-            op = rng.randrange(4)
-            if op == 0 and entry.intervals:  # corrupt one interval entry
-                intervals = list(entry.intervals)
-                at = rng.randrange(len(intervals))
-                iv_index, low, high = intervals[at]
-                field = rng.randrange(3)
-                delta = rng.choice([-2, -1, 1, 2, (1 << 20), (1 << 70)])
-                corrupted = (iv_index + delta if field == 0 else iv_index,
-                             low + delta if field == 1 else low,
-                             high + delta if field == 2 else high)
-                intervals[at] = corrupted
-                entries[index] = dataclasses.replace(entry,
-                                                     intervals=tuple(intervals))
-            elif op == 1 and entry.intervals:  # drop or duplicate an entry
-                intervals = list(entry.intervals)
-                if rng.random() < 0.5:
-                    intervals.pop(rng.randrange(len(intervals)))
-                else:
-                    intervals.append(intervals[rng.randrange(len(intervals))])
-                entries[index] = dataclasses.replace(entry,
-                                                     intervals=tuple(intervals))
-            elif op == 2:
-                if entry.is_tree_edge:  # off-by-one / swapped tour indices
-                    if rng.random() < 0.5:
-                        field = rng.choice(["descend_index", "return_index"])
-                        entries[index] = dataclasses.replace(
-                            entry, **{field: getattr(entry, field)
-                                      + rng.choice([-1, 1])})
-                    else:
-                        entries[index] = dataclasses.replace(
-                            entry, descend_index=entry.return_index,
-                            return_index=entry.descend_index)
-                else:  # swapped or shifted chord copies
-                    if rng.random() < 0.5:
-                        entries[index] = dataclasses.replace(
-                            entry, copy_a=entry.copy_b, copy_b=entry.copy_a)
-                    else:
-                        field = rng.choice(["copy_a", "copy_b"])
-                        entries[index] = dataclasses.replace(
-                            entry, **{field: getattr(entry, field)
-                                      + rng.choice([-1, 1, 7])})
-            else:  # unrepresentable interval payloads the reference still
-                # *decides* on (truly malformed shapes make it raise, which
-                # the fallback reproduces — asserted by the targeted tests,
-                # out of scope for the decision-identity fuzz)
-                entries[index] = dataclasses.replace(entry, intervals=rng.choice(
-                    [((1, 0, 1 << 70),), ((1, 0, 2),) * 9]))
-            return dataclasses.replace(certificate,
-                                       edge_certificates=tuple(entries))
-        choices.append(tweak_entry_payload)
-    path_label = getattr(certificate, "path", None)
-    if path_label is not None and dataclasses.is_dataclass(path_label):
-        def tweak_path():
-            field = rng.choice(_int_fields(path_label))
-            values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
-            if field == "parent_id":
-                values.append(None)
-            return dataclasses.replace(certificate, path=dataclasses.replace(
-                path_label, **{field: rng.choice(values)}))
-        choices.append(tweak_path)
-    interval = getattr(certificate, "interval", None)
-    if isinstance(interval, tuple) and len(interval) == 2:
-        def tweak_interval():
-            op = rng.randrange(4)
-            if op == 0:
-                return dataclasses.replace(
-                    certificate,
-                    interval=(interval[0] + rng.choice([-1, 1]), interval[1]))
-            if op == 1:
-                return dataclasses.replace(
-                    certificate,
-                    interval=(interval[0], interval[1] + rng.choice([-2, -1, 1])))
-            if op == 2:  # list shape: unrepresentable, and never tuple-equal
-                return dataclasses.replace(certificate, interval=list(interval))
-            return dataclasses.replace(
-                certificate,
-                interval=(rng.randrange(-2, 20), rng.randrange(-2, 20)))
-        choices.append(tweak_interval)
-    map_ids = getattr(certificate, "node_ids", None)
-    map_edges = getattr(certificate, "edges", None)
-    if isinstance(map_ids, tuple) and isinstance(map_edges, tuple):
-        def tweak_map():
-            op = rng.randrange(4)
-            if op == 0 and map_edges:
-                return dataclasses.replace(certificate, edges=map_edges[:-1])
-            if op == 1:
-                return dataclasses.replace(
-                    certificate, node_ids=map_ids + (rng.randrange(1 << 20),))
-            if op == 2 and map_edges:
-                u, v = map_edges[rng.randrange(len(map_edges))]
-                return dataclasses.replace(certificate,
-                                           edges=map_edges + ((v, u),))
-            # list container: unrepresentable, routed through the fallback
-            return dataclasses.replace(certificate, node_ids=list(map_ids))
-        choices.append(tweak_map)
-    if not choices:
-        return None
-    return rng.choice(choices)()
-
-
-def _corrupt(certificates, nodes, rng):
-    """Apply one random corruption; returns a fresh assignment."""
-    mutated = dict(certificates)
-    operation = rng.randrange(6)
-    node = rng.choice(nodes)
-    if operation == 0:  # swap two nodes' certificates
-        other = rng.choice(nodes)
-        mutated[node], mutated[other] = mutated[other], mutated[node]
-    elif operation == 1:  # drop a certificate
-        mutated[node] = None
-    elif operation == 2:  # duplicate another node's certificate
-        mutated[node] = mutated[rng.choice(nodes)]
-    elif operation == 3 and mutated[node] is not None:  # tweak one field
-        fields = _int_fields(mutated[node])
-        field = rng.choice(fields) if fields else None
-        values = [-1, 0, 1, 2, rng.randrange(1 << 20), (1 << 40), (1 << 70)]
-        if field == "parent_id":
-            # None stays confined to the optional field: the reference checks
-            # would raise (not decide) on e.g. a None total, and the backends
-            # only promise identical *decisions*
-            values.append(None)
-        if field is not None:
-            mutated[node] = dataclasses.replace(mutated[node],
-                                                **{field: rng.choice(values)})
-    elif operation == 4 and mutated[node] is not None:  # offset one field
-        fields = _int_fields(mutated[node])
-        field = rng.choice(fields) if fields else None
-        current = getattr(mutated[node], field) if field is not None else None
-        if isinstance(current, int):
-            mutated[node] = dataclasses.replace(
-                mutated[node], **{field: current + rng.choice([-1, 1])})
-    elif operation == 5 and mutated[node] is not None:  # nested mutation
-        nested = _mutate_nested(mutated[node], rng)
-        if nested is not None:
-            mutated[node] = nested
-    return mutated
+# the operator set now lives in the shared corruption library (promoted so
+# campaigns and this fuzzer corrupt identically); the aliases keep the
+# fuzzer's historical spelling and, by using the same draw order, the same
+# seeded corpus
+_int_fields = int_fields
+_mutate_nested = mutate_nested_certificate
+_corrupt = corrupt_assignment
 
 
 @pytest.mark.parametrize("scheme_name", pls_kernel_names())
