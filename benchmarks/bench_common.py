@@ -40,6 +40,21 @@ def _numpy_version() -> str | None:
     return numpy.__version__
 
 
+def effective_cpu_count() -> int | None:
+    """CPUs this process may actually run on, not just the machine's total.
+
+    Container/cgroup CPU quotas and ``taskset`` pins show up in the
+    scheduling affinity mask but not in ``os.cpu_count()``; a pooled
+    benchmark row is only a scaling claim when *this* number is >= 2,
+    which is why it sits in every ``BENCH_*.json`` header next to the
+    pool width.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count()
+
+
 def _git_commit() -> str | None:
     try:
         result = subprocess.run(
@@ -58,8 +73,11 @@ def provenance(workers: int | None = None,
     """Describe the machine and interpreter a benchmark payload was measured on.
 
     ``workers`` records the process-pool width the benchmark used (when it
-    used one); reading it next to ``cpu_count`` tells a reader whether a
-    pooled row could possibly have shown a speedup on this box.  The numpy
+    used one); reading it next to ``effective_cpus`` (the scheduling-affinity
+    count — what a cgroup-limited container actually grants, as opposed to
+    the machine-wide ``cpu_count``) tells a reader whether a pooled row
+    could possibly have shown a speedup on this box.  ``pool_start_method``
+    records the :meth:`run_trials` start-method pin (always ``spawn``).  The numpy
     version and the git commit the numbers were measured at (``None`` when
     unavailable, e.g. outside a checkout) make the committed ``BENCH_*.json``
     payloads attributable to an exact kernel implementation.
@@ -74,6 +92,8 @@ def provenance(workers: int | None = None,
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "effective_cpus": effective_cpu_count(),
+        "pool_start_method": "spawn",  # run_trials pins it on every platform
         "numpy_version": _numpy_version(),
         "git_commit": _git_commit(),
     }
@@ -112,7 +132,9 @@ def observability_snapshot(tracer: Any) -> dict[str, Any]:
                    for name, (count, total, self_total)
                    in sorted(phases.items())},
         "counters": dict(tracer.metrics.counters),
+        "gauges": dict(tracer.metrics.gauges),
     }
 
 
-__all__ = ["emit", "provenance", "observability_snapshot"]
+__all__ = ["emit", "provenance", "observability_snapshot",
+           "effective_cpu_count"]

@@ -17,11 +17,16 @@ library.  It reads the per-span records plus the ``trace_summary`` trailer
 
 ``--check`` mode asserts trace integrity for the CI smoke leg: the trailer
 must be present, report zero unclosed spans, and at least one ``kernel:*``
-span must have been recorded; exit status is non-zero otherwise.
+span must have been recorded; exit status is non-zero otherwise.  Adding
+``--expect-zero-copy`` extends the check to the shared-memory plane: the
+log must show ``shm_export`` and ``shm_attach`` spans, a non-zero
+``bytes_shared`` counter, and pickled spec bytes strictly smaller than the
+shared bytes — i.e. the pool shipped handles, not arrays.
 
 Usage::
 
     python scripts/trace_report.py trace_spans.jsonl [--top 15] [--check]
+        [--expect-zero-copy]
 """
 from __future__ import annotations
 
@@ -151,7 +156,50 @@ def print_kernel_stats(spans: list[dict[str, Any]],
           f"max_chunk_nodes={max(nodes, default=0)}")
 
 
-def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None) -> int:
+def print_shared_memory(spans: list[dict[str, Any]],
+                        metrics: dict[str, Any]) -> None:
+    """The zero-copy ledger: segment traffic vs pickled spec bytes."""
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    exports = [s for s in spans if s["name"] == "shm_export"]
+    attaches = [s for s in spans if s["name"] == "shm_attach"]
+    print()
+    print("shared memory")
+    if not exports and not attaches and "bytes_shared" not in counters:
+        print("  (no shared-memory activity)")
+    else:
+        print(f"  exports={len(exports)} attaches={len(attaches)} "
+              f"bytes_shared={int(counters.get('bytes_shared', 0))} "
+              f"bytes_attached={int(counters.get('bytes_attached', 0))} "
+              f"bytes_pickled.specs="
+              f"{int(counters.get('bytes_pickled.specs', 0))}")
+    peak = gauges.get("peak_rss_bytes")
+    if peak is not None:
+        print(f"  peak_rss={int(peak) / (1 << 20):.1f} MiB")
+
+
+def check_zero_copy(spans: list[dict[str, Any]],
+                    trailer: dict[str, Any] | None) -> list[str]:
+    """Assertions behind ``--expect-zero-copy``: handles shipped, not arrays."""
+    failures: list[str] = []
+    counters = (trailer or {}).get("metrics", {}).get("counters", {})
+    if not any(span["name"] == "shm_export" for span in spans):
+        failures.append("zero-copy: no shm_export spans recorded")
+    if not any(span["name"] == "shm_attach" for span in spans):
+        failures.append("zero-copy: no shm_attach spans recorded")
+    shared = int(counters.get("bytes_shared", 0))
+    pickled = int(counters.get("bytes_pickled.specs", 0))
+    if shared <= 0:
+        failures.append("zero-copy: bytes_shared counter is zero")
+    elif pickled >= shared:
+        failures.append(f"zero-copy: pickled spec bytes ({pickled}) not "
+                        f"smaller than shared bytes ({shared}) — the pool "
+                        "shipped arrays, not handles")
+    return failures
+
+
+def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None,
+          expect_zero_copy: bool = False) -> int:
     """CI integrity assertions; returns a process exit status."""
     failures: list[str] = []
     if trailer is None:
@@ -171,6 +219,8 @@ def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None) -> int:
     dropped = trailer.get("dropped_spans", 0) if trailer else 0
     if dangling and not dropped:
         failures.append(f"{dangling} spans reference missing parents")
+    if expect_zero_copy:
+        failures.extend(check_zero_copy(spans, trailer))
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
@@ -188,17 +238,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="rows in the top-phases table (default 20)")
     parser.add_argument("--check", action="store_true",
                         help="assert trace integrity (CI mode)")
+    parser.add_argument("--expect-zero-copy", action="store_true",
+                        help="with --check: also assert shm_export/shm_attach "
+                             "spans exist and pickled spec bytes stayed below "
+                             "shared bytes")
     args = parser.parse_args(argv)
 
     spans, trailer = load_span_log(args.span_log)
     if args.check:
-        return check(spans, trailer)
+        return check(spans, trailer, expect_zero_copy=args.expect_zero_copy)
 
     rows = aggregate(spans)
     print_top_phases(rows, args.top)
-    counters = (trailer or {}).get("metrics", {}).get("counters", {})
+    metrics = (trailer or {}).get("metrics", {})
+    counters = metrics.get("counters", {})
     print_fallbacks(counters)
     print_kernel_stats(spans, rows)
+    print_shared_memory(spans, metrics)
     if trailer is not None:
         print()
         print(f"trailer: spans={trailer.get('spans')} "

@@ -46,10 +46,10 @@ from repro.core.po_scheme import algorithm1_check
 from repro.distributed.certificates import BitWriter, Encodable
 from repro.distributed.network import LocalView, Network
 from repro.distributed.scheme import ProofLabelingScheme
-from repro.exceptions import NotInClassError
+from repro.exceptions import NotInClassError, NotPlanarError
 from repro.graphs.degeneracy import assign_edges_by_degeneracy
 from repro.graphs.graph import Graph, Node, edge_key
-from repro.graphs.planarity import is_planar
+from repro.graphs.planarity import compute_planar_embedding, is_planar
 from repro.graphs.spanning_tree import RootedTree
 
 __all__ = [
@@ -230,13 +230,18 @@ class PlanarityScheme(ProofLabelingScheme):
 
     def prove(self, network: Network) -> dict[Node, PlanarityCertificate]:
         graph = network.graph
-        if not self.is_member(graph):
-            raise NotInClassError("the network is not planar")
+        # Compute the embedding once: it both answers membership and feeds
+        # cut_open, so the prover runs a single planarity test per network
+        # instead of two (the full test dominates proving time at large n).
+        try:
+            rotation = compute_planar_embedding(graph, backend=self.embedding_backend)
+        except NotPlanarError:
+            raise NotInClassError("the network is not planar") from None
         tree: RootedTree | None = None
         if self.spanning_tree_builder is not None:
             root = self.root if self.root is not None else next(iter(graph.nodes()))
             tree = self.spanning_tree_builder(graph, root)
-        decomposition = cut_open(graph, tree=tree, root=self.root,
+        decomposition = cut_open(graph, rotation=rotation, tree=tree, root=self.root,
                                  embedding_backend=self.embedding_backend)
         return self._certificates_from_decomposition(network, decomposition)
 

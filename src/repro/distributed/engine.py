@@ -88,7 +88,13 @@ from repro.distributed.interactive import (
 from repro.distributed.network import LocalView, Network
 from repro.distributed.scheme import ProofLabelingScheme
 from repro.distributed.verifier import VerificationResult, certificate_statistics
-from repro.distributed.views import NodeStructure, assemble_view, materialize_structures
+from repro.distributed.views import (
+    NodeStructure,
+    assemble_view,
+    iter_structures,
+    materialize_structures,
+    structure_at,
+)
 from repro.graphs.graph import Graph, Node
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import current as current_tracer
@@ -210,11 +216,20 @@ class SimulationEngine:
         a ``kernel_for(scheme)`` method, normally a
         :class:`~repro.distributed.registry.SchemeRegistry`); ``None`` uses
         :func:`~repro.distributed.registry.default_registry`.
+    stream_node_threshold:
+        Node count from which the per-node view paths *stream* instead of
+        caching: the reference loop and the vectorized exactness fallback
+        consume :func:`~repro.distributed.views.iter_structures` /
+        :func:`~repro.distributed.views.structure_at` rather than the cached
+        whole-graph structure list, so a million-node verification never
+        holds every node's ball graph at once.  Below the threshold the
+        cached list stays strictly better (sweeps revisit it per trial).
     """
 
     def __init__(self, workers: int = 1, seed: int | None = None,
                  network_cache_size: int = 32, backend: str = "reference",
-                 kernel_registry: Any = None) -> None:
+                 kernel_registry: Any = None,
+                 stream_node_threshold: int = 1 << 17) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if network_cache_size < 1:
@@ -226,6 +241,7 @@ class SimulationEngine:
         self.network_cache_size = network_cache_size
         self.backend = backend
         self.kernel_registry = kernel_registry
+        self.stream_node_threshold = stream_node_threshold
         # per-engine metrics; backs the backend_counters compatibility view
         # (the alias below shares the registry's counter dict, so the hot
         # increment sites stay plain dict operations)
@@ -417,15 +433,18 @@ class SimulationEngine:
         if accept is None:
             verify = scheme.verify
             view = self._view
-            structures = self.structures(network, radius)
+            streaming = network.size >= self.stream_node_threshold
+            structures = (iter_structures(network, radius) if streaming
+                          else self.structures(network, radius))
             counters = self._backend_counters
             counters["reference_calls"] += 1
-            counters["reference_nodes"] += len(structures)
+            counters["reference_nodes"] += network.size
             tracer = current_tracer()
             with tracer.span("reference_loop") as sp:
                 if sp:
-                    sp.set(scheme=scheme.name, nodes=len(structures),
-                           network=self._fingerprint(network))
+                    sp.set(scheme=scheme.name, nodes=network.size,
+                           network=self._fingerprint(network),
+                           streamed=streaming)
                 return {s.node: bool(verify(view(s, certificates, radius)))
                         for s in structures}
         labels = network.graph.indexed().labels
@@ -462,6 +481,53 @@ class SimulationEngine:
             ctx = build_vector_context(network)
             self._vector_contexts[key] = ctx
             return ctx
+
+    # ------------------------------------------------------------------
+    # shared-memory artifact plane
+    # ------------------------------------------------------------------
+    def export_shared(self, network: Network) -> Any | None:
+        """Place ``network``'s compiled arrays into shared memory.
+
+        Returns a picklable
+        :class:`~repro.distributed.shm.SharedNetworkHandle` that
+        :meth:`run_trials` specs can carry instead of the network itself —
+        pool workers then *attach* to the one shared copy of the CSR /
+        identifier arrays rather than each unpickling their own.  The caller
+        owns the segment and must call ``handle.unlink()`` when done.
+
+        Returns ``None`` whenever the zero-copy path is unavailable — shared
+        memory or numpy missing, the vectorized compiler refuses the network
+        (n < 2, isolated nodes, oversized identifiers), or non-integer node
+        labels — in which case callers simply keep the network in the spec
+        and the established pickle path applies (see the fallback matrix in
+        :mod:`repro.distributed.shm`).
+        """
+        ctx = self._vector_context(network)
+        if ctx is None:
+            return None
+        try:
+            from repro.distributed import shm
+        except ImportError:  # pragma: no cover - minimal installs
+            return None
+        if not shm.HAVE_SHM:
+            return None
+        return shm.export_network(ctx)
+
+    def attach(self, handle: Any) -> Network:
+        """Attach to an exported network and pre-seed this engine's caches.
+
+        The returned read-only :class:`Network` verifies like any other, but
+        its vectorized context is the shared zero-copy one — this engine will
+        not recompile what the exporting process already compiled.  Worker
+        processes normally never call this directly: :meth:`run_trials`
+        resolves handles found in trial specs transparently.
+        """
+        from repro.distributed import shm
+
+        network = shm.attach_network(handle)
+        key = self._network_key(network)
+        self._vector_contexts[key] = shm.attached_context(handle)
+        return network
 
     @property
     def backend_counters(self) -> dict[str, int]:
@@ -531,7 +597,6 @@ class SimulationEngine:
         if fallback.any():
             nodes = int(fallback.sum())
             counters["fallback_nodes"] += nodes
-            structures = self.structures(network, 1)
             verify = scheme.verify
             view = self._view
             if tracer.enabled:
@@ -541,8 +606,18 @@ class SimulationEngine:
                 if sp:
                     sp.set(scheme=scheme.name, reason="unrepresentable_view",
                            nodes=nodes)
-                for i in fallback.nonzero()[0]:
-                    accept[i] = bool(verify(view(structures[i], certificates, 1)))
+                if ctx.n >= self.stream_node_threshold:
+                    # re-deciding a handful of flagged nodes must not
+                    # materialise (or cache) a million-entry structure list:
+                    # build exactly the flagged nodes' views on demand
+                    labels = ctx.labels
+                    for i in fallback.nonzero()[0]:
+                        structure = structure_at(network, labels[i], 1)
+                        accept[i] = bool(verify(view(structure, certificates, 1)))
+                else:
+                    structures = self.structures(network, 1)
+                    for i in fallback.nonzero()[0]:
+                        accept[i] = bool(verify(view(structures[i], certificates, 1)))
         return accept
 
     def _fingerprint(self, network: Network) -> str:
@@ -1127,42 +1202,86 @@ class SimulationEngine:
 
         Runs serially when ``workers == 1``; otherwise fans out over a
         process pool (``worker`` and every spec must then be picklable, e.g.
-        a module-level function taking plain tuples).  Results keep the order
-        of ``specs`` either way.
+        a module-level function taking plain tuples).  The pool uses the
+        ``spawn`` start method on every platform: fork would duplicate the
+        parent's numpy/BLAS thread state (a latent deadlock) and silently
+        hide unpicklable workers until the first non-Linux run.  Results
+        keep the order of ``specs`` either way.
+
+        Specs may carry :class:`~repro.distributed.shm.SharedNetworkHandle`
+        values (from :meth:`export_shared`) anywhere a network would go —
+        inside tuples, lists, or dict values; both the serial path and the
+        pool workers resolve them to attached read-only networks before
+        calling ``worker``, so worker code written against networks runs
+        against handles unchanged.
 
         When tracing is enabled, each spec runs inside a ``trial`` span; on
         the pool path every worker process installs its own fresh tracer
         and ships its spans and metrics snapshot back through the pool
         result, which the parent tracer absorbs (per-worker totals
-        aggregate to the same counters a serial run would record).
+        aggregate to the same counters a serial run would record).  The
+        parent additionally records ``bytes_pickled.specs`` — the serialised
+        size of the shipped specs, the number the shared-memory plane
+        exists to shrink.
         """
+        from repro.distributed.shm import resolve_spec
+
         tracer = current_tracer()
         if self.workers == 1 or len(specs) <= 1:
             if not tracer.enabled:
-                return [worker(spec) for spec in specs]
+                return [worker(resolve_spec(spec)) for spec in specs]
             results = []
             for index, spec in enumerate(specs):
                 with tracer.span("trial") as sp:
                     sp.set(index=index)
-                    results.append(worker(spec))
+                    results.append(worker(resolve_spec(spec)))
             return results
+        import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
-        if not tracer.enabled:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                return list(pool.map(worker, specs))
-        traced = _TracedTrial(worker)
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            payloads = list(pool.map(traced, list(enumerate(specs))))
-        results = []
-        for index, (result, payload) in enumerate(payloads):
-            tracer.absorb(payload, worker=index)
-            results.append(result)
-        return results
+        context = multiprocessing.get_context("spawn")
+        if tracer.enabled:
+            import pickle
+
+            tracer.metrics.count(
+                "bytes_pickled.specs",
+                sum(len(pickle.dumps(spec)) for spec in specs))
+            traced = _TracedTrial(worker)
+            with ProcessPoolExecutor(max_workers=self.workers,
+                                     mp_context=context) as pool:
+                payloads = list(pool.map(traced, list(enumerate(specs))))
+            results = []
+            for index, (result, payload) in enumerate(payloads):
+                tracer.absorb(payload, worker=index)
+                results.append(result)
+            return results
+        resolved = _ResolvedTrial(worker)
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            return list(pool.map(resolved, specs))
 
     def rng(self, index: int = 0) -> random.Random:
         """Return a :class:`random.Random` seeded for trial ``index``."""
         return random.Random(self.trial_seed(index))
+
+
+class _ResolvedTrial:
+    """Picklable wrapper resolving shared-memory handles in pool workers.
+
+    The untraced pool path ships this instead of the bare worker so that
+    :func:`~repro.distributed.shm.resolve_spec` runs *inside* the worker
+    process — where the attach maps the shared segment — rather than in the
+    parent, where resolution would pull the whole network back into the
+    spec and pickle it anyway.
+    """
+
+    def __init__(self, worker: Callable[[Any], Any]) -> None:
+        self.worker = worker
+
+    def __call__(self, spec: Any) -> Any:
+        from repro.distributed.shm import resolve_spec
+
+        return self.worker(resolve_spec(spec))
 
 
 class _TracedTrial:
@@ -1180,6 +1299,7 @@ class _TracedTrial:
         self.worker = worker
 
     def __call__(self, indexed_spec: tuple[int, Any]) -> tuple[Any, dict]:
+        from repro.distributed.shm import resolve_spec
         from repro.observability.tracer import Tracer, install
 
         index, spec = indexed_spec
@@ -1188,7 +1308,7 @@ class _TracedTrial:
         try:
             with tracer.span("trial") as sp:
                 sp.set(index=index)
-                result = self.worker(spec)
+                result = self.worker(resolve_spec(spec))
         finally:
             install(previous)
         return result, tracer.export_payload()

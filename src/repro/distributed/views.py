@@ -38,7 +38,8 @@ from repro.distributed.network import LocalView, Network
 from repro.graphs.graph import Graph, Node
 from repro.observability.tracer import current as current_tracer
 
-__all__ = ["NodeStructure", "materialize_structures", "assemble_view"]
+__all__ = ["NodeStructure", "materialize_structures", "iter_structures",
+           "structure_at", "assemble_view"]
 
 
 @dataclass(frozen=True)
@@ -58,19 +59,33 @@ def materialize_structures(network: Network, radius: int) -> list[NodeStructure]
 
     Nodes appear in the network's node order (the order
     :func:`~repro.distributed.verifier.run_verification` visits them).
+    This is the cache-friendly form; callers that must bound peak memory on
+    very large networks stream :func:`iter_structures` instead.
     """
     with current_tracer().span("view_materialize") as sp:
         if sp:
             sp.set(nodes=network.size, radius=radius)
-        return _materialize_structures(network, radius)
+        return list(iter_structures(network, radius))
 
 
-def _materialize_structures(network: Network, radius: int) -> list[NodeStructure]:
+def iter_structures(network: Network, radius: int):
+    """Yield each node's :class:`NodeStructure`, one node resident at a time.
+
+    Same nodes, same order, same per-structure content as
+    :func:`materialize_structures` — but as a generator: at no point do all
+    ``n`` structures (each carrying a ball :class:`Graph` and several Python
+    lists) exist at once.  This is the streaming substrate of the
+    million-node path — the engine's reference/fallback loops consume it
+    directly above their streaming threshold instead of caching a
+    whole-graph structure list.
+    """
     indexed = network.graph.indexed()
     labels = indexed.labels
-    ids = [network.id_of(label) for label in labels]
-    structures: list[NodeStructure] = []
     if radius == 1:
+        # one flat id list up front (O(n) ints — not what bounds memory; the
+        # per-node balls and lists are), then pure index arithmetic per node
+        ids = [network.id_of(label) for label in labels]
+        node_of = network.node_of
         for i, node in enumerate(labels):
             center_id = ids[i]
             neighbor_ids = sorted(ids[j] for j in indexed.neighbors_of(i))
@@ -79,26 +94,57 @@ def _materialize_structures(network: Network, radius: int) -> list[NodeStructure
             ball._adj[center_id] = set(neighbor_ids)
             for neighbor_id in neighbor_ids:
                 ball._adj[neighbor_id] = {center_id}
-            visible = [node, *(network.node_of(nid) for nid in neighbor_ids)]
-            structures.append(NodeStructure(
+            visible = [node, *(node_of(nid) for nid in neighbor_ids)]
+            yield NodeStructure(
                 node=node, center_id=center_id, neighbor_ids=neighbor_ids,
                 visible_nodes=visible,
-                visible_ids=[center_id, *neighbor_ids], ball=ball))
+                visible_ids=[center_id, *neighbor_ids], ball=ball)
     else:
-        # delegate to the reference implementation so the deliberate
-        # t-round view approximation documented there stays the single
-        # source of truth; only the certificate-independent fields are
-        # kept (an empty assignment leaves view.certificates keyed by
-        # exactly the visible identifiers, in visible order)
         for node in labels:
-            view = network.local_view(node, {}, radius=radius)
-            visible_ids = list(view.certificates)
-            structures.append(NodeStructure(
-                node=node, center_id=view.center_id,
-                neighbor_ids=view.neighbor_ids,
-                visible_nodes=[network.node_of(i) for i in visible_ids],
-                visible_ids=visible_ids, ball=view.ball))
-    return structures
+            yield _deep_structure(network, node, radius)
+
+
+def structure_at(network: Network, node: Node, radius: int) -> NodeStructure:
+    """Build the single :class:`NodeStructure` of ``node``, on demand.
+
+    Equivalent to the matching entry of :func:`materialize_structures`
+    without touching any other node — what the vectorized backend's exactness
+    fallback uses on large networks, where re-deciding a handful of flagged
+    nodes must not materialise (or cache) a million-entry structure list.
+    """
+    if radius == 1:
+        return _star_structure(network, node)
+    return _deep_structure(network, node, radius)
+
+
+def _star_structure(network: Network, node: Node) -> NodeStructure:
+    center_id = network.id_of(node)
+    neighbor_ids = network.neighbor_ids(node)
+    # star ball, laid out exactly like Network.local_view builds it
+    ball = Graph()
+    ball._adj[center_id] = set(neighbor_ids)
+    for neighbor_id in neighbor_ids:
+        ball._adj[neighbor_id] = {center_id}
+    visible = [node, *(network.node_of(nid) for nid in neighbor_ids)]
+    return NodeStructure(
+        node=node, center_id=center_id, neighbor_ids=neighbor_ids,
+        visible_nodes=visible,
+        visible_ids=[center_id, *neighbor_ids], ball=ball)
+
+
+def _deep_structure(network: Network, node: Node, radius: int) -> NodeStructure:
+    # delegate to the reference implementation so the deliberate t-round
+    # view approximation documented there stays the single source of truth;
+    # only the certificate-independent fields are kept (an empty assignment
+    # leaves view.certificates keyed by exactly the visible identifiers, in
+    # visible order)
+    view = network.local_view(node, {}, radius=radius)
+    visible_ids = list(view.certificates)
+    return NodeStructure(
+        node=node, center_id=view.center_id,
+        neighbor_ids=view.neighbor_ids,
+        visible_nodes=[network.node_of(i) for i in visible_ids],
+        visible_ids=visible_ids, ball=view.ball)
 
 
 def assemble_view(structure: NodeStructure, certificates: dict[Node, Any],

@@ -138,18 +138,52 @@ class RotationSystem:
         return faces
 
     def number_of_faces(self) -> int:
-        """Return the number of faces induced by the rotation system."""
-        return len(self.faces())
+        """Return the number of faces induced by the rotation system.
+
+        Uses the same face-tracing rule as :meth:`faces` but only counts,
+        without materialising boundary lists — the Euler validation runs on
+        every embedding the planarity backend produces, so this is a hot path
+        at large ``n``.
+        """
+        rotation = self._rotation
+        index = self._index
+        seen: set[tuple[Node, Node]] = set()
+        count = 0
+        for start_u, neighbors in rotation.items():
+            for start_v in neighbors:
+                if (start_u, start_v) in seen:
+                    continue
+                count += 1
+                u, v = start_u, start_v
+                while True:
+                    seen.add((u, v))
+                    order = rotation[v]
+                    w = order[index[v][u] - 1]
+                    u, v = v, w
+                    if (u, v) == (start_u, start_v):
+                        break
+        return count
 
     def is_planar_embedding(self) -> bool:
         """Check Euler's formula ``n - m + f = 2`` for the embedded (connected) graph."""
-        graph = self.to_graph()
-        if graph.number_of_nodes() == 0:
+        rotation = self._rotation
+        n = len(rotation)
+        if n == 0:
             return True
-        if not graph.is_connected():
+        m = self.number_of_edges()
+        # Connectivity over the rotation adjacency itself; building a Graph
+        # copy here would double the memory footprint of the validation.
+        start = next(iter(rotation))
+        reached = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in rotation[node]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        if len(reached) != n:
             raise EmbeddingError("Euler-formula check requires a connected graph")
-        n = graph.number_of_nodes()
-        m = graph.number_of_edges()
         if m == 0:
             return True
         return n - m + self.number_of_faces() == 2

@@ -56,10 +56,12 @@ def _networkx_embedding(graph: Graph) -> RotationSystem | None:
         return None
     rotation = RotationSystem.from_networkx_embedding(embedding)
     # networkx omits isolated nodes from some embedding views; re-add them.
-    for node in graph.nodes():
-        if node not in set(rotation.nodes()):
-            rotation = RotationSystem(
-                {**{v: rotation.rotation(v) for v in rotation.nodes()}, node: []})
+    embedded = set(rotation.nodes())
+    missing = [node for node in graph.nodes() if node not in embedded]
+    if missing:
+        rotations = {v: rotation.rotation(v) for v in rotation.nodes()}
+        rotations.update({node: [] for node in missing})
+        rotation = RotationSystem(rotations)
     return rotation
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, TextIO
 
+from .metrics import peak_rss_bytes
 from .tracer import Span, Tracer
 
 __all__ = [
@@ -34,7 +35,14 @@ def span_records(tracer: Tracer) -> list[dict[str, Any]]:
 
 
 def trace_summary_record(tracer: Tracer) -> dict[str, Any]:
-    """The trailer appended to a span log: integrity counts + metrics."""
+    """The trailer appended to a span log: integrity counts + metrics.
+
+    Samples this process's peak RSS into the ``peak_rss_bytes`` gauge
+    first (worker peaks were folded in at absorb time), so the trailer's
+    metrics carry the run's memory high-water mark."""
+    peak = peak_rss_bytes()
+    if peak is not None:
+        tracer.metrics.gauge("peak_rss_bytes", peak)
     return {
         "trace_summary": True,
         "spans": len(tracer.spans),

@@ -22,9 +22,10 @@ strings, dicts) so snapshots can be embedded verbatim into the
 from __future__ import annotations
 
 import math
+import sys
 from typing import Any, Iterable
 
-__all__ = ["TimingStat", "MetricsRegistry", "BUCKET_BOUNDS"]
+__all__ = ["TimingStat", "MetricsRegistry", "BUCKET_BOUNDS", "peak_rss_bytes"]
 
 # Histogram bucket upper bounds, in seconds (log scale, final bucket is
 # the +inf overflow).  Spans in this codebase range from ~1 microsecond
@@ -103,14 +104,40 @@ class TimingStat:
                 f"min={self.minimum:.6f}, max={self.maximum:.6f})")
 
 
-class MetricsRegistry:
-    """A named bag of integer counters and :class:`TimingStat` histograms."""
+def peak_rss_bytes() -> int | None:
+    """This process's peak resident-set size in bytes, or ``None``.
 
-    __slots__ = ("counters", "timings")
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — the kernel's high-water
+    mark, so it captures the true allocation peak of a streamed compile even
+    between gauge samples.  Linux reports kilobytes, macOS bytes; platforms
+    without :mod:`resource` (Windows) return ``None`` and the gauge is
+    simply not recorded.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+class MetricsRegistry:
+    """A named bag of integer counters, :class:`TimingStat` histograms, and
+    high-water gauges.
+
+    Gauges record *levels* rather than increments — peak RSS is the canonical
+    one — and keep the maximum value seen, so merging worker snapshots yields
+    the fleet-wide high-water mark per gauge name (not a meaningless sum).
+    """
+
+    __slots__ = ("counters", "timings", "gauges")
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timings: dict[str, TimingStat] = {}
+        self.gauges: dict[str, float] = {}
 
     # -- recording -------------------------------------------------------
     def count(self, name: str, value: int = 1) -> None:
@@ -121,6 +148,12 @@ class MetricsRegistry:
         if stat is None:
             stat = self.timings[name] = TimingStat()
         stat.observe(seconds)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a level; the gauge keeps the maximum value ever seen."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
 
     # -- reading ---------------------------------------------------------
     def counter(self, name: str) -> int:
@@ -138,16 +171,20 @@ class MetricsRegistry:
             "counters": dict(self.counters),
             "timings": {name: stat.to_dict()
                         for name, stat in self.timings.items()},
+            "gauges": dict(self.gauges),
         }
 
     # -- aggregation -----------------------------------------------------
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) into this
-        registry.  Counters add; timing stats merge exactly."""
+        registry.  Counters add; timing stats merge exactly; gauges keep
+        the maximum (snapshots predating gauges simply contribute none)."""
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, int(value))
         for name, payload in snapshot.get("timings", {}).items():
             self.timing(name).merge(payload)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, float(value))
 
     def reset(self, names: Iterable[str] | None = None) -> None:
         """Zero counters (and drop timings) -- all of them, or just the
@@ -160,6 +197,7 @@ class MetricsRegistry:
             for name in self.counters:
                 self.counters[name] = 0
             self.timings.clear()
+            self.gauges.clear()
             return
         for name in names:
             if name in self.counters:

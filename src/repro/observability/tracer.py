@@ -27,7 +27,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, peak_rss_bytes
 
 __all__ = [
     "Span", "Tracer", "NULL_SPAN",
@@ -228,7 +228,14 @@ class Tracer:
 
     def export_payload(self) -> dict[str, Any]:
         """Plain-data dump of this tracer (picklable / JSON-able) for
-        shipping through a process-pool result."""
+        shipping through a process-pool result.
+
+        Samples this process's peak RSS into the ``peak_rss_bytes`` gauge
+        first, so pool parents absorbing worker payloads see the fleet-wide
+        memory high-water mark (gauges merge by maximum)."""
+        peak = peak_rss_bytes()
+        if peak is not None:
+            self.metrics.gauge("peak_rss_bytes", peak)
         return {
             "spans": [span.to_dict() for span in self.spans],
             "dropped_spans": self.dropped_spans,

@@ -49,6 +49,7 @@ __all__ = [
     "HAVE_NUMPY",
     "INT_LIMIT",
     "ID_LIMIT",
+    "COMPILE_CHUNK",
     "UNREPRESENTABLE",
     "FieldSpec",
     "VectorContext",
@@ -69,6 +70,14 @@ INT_LIMIT = 1 << 31
 #: network identifiers only ever sit on one side of an equality comparison, so
 #: they merely need to be exactly representable as int64.
 ID_LIMIT = 1 << 62
+
+#: node-range chunk of the streamed table compilers: the per-chunk Python
+#: staging lists are bounded by this many rows before being flushed into the
+#: dense int64 arrays, so a 10^6-node compile never holds per-node Python int
+#: objects for the whole graph at once.  Mirrors the default
+#: ``batch_node_budget`` of the batched sweeps — one knob scale-reasons about
+#: both the sweep slabs and the compile staging.
+COMPILE_CHUNK = 1 << 16
 
 
 #: sentinel a :attr:`FieldSpec.getter` returns to mark the whole certificate
@@ -455,29 +464,42 @@ def _compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
                           for spec in fields))
     present = bytearray(n)
     unrepresentable = bytearray(n)
-    flat: list[int] = []
-    extend = flat.extend
     get = certificates.get
-    for i, label in enumerate(ctx.labels):
-        certificate = get(label)
-        if certificate is None:
-            extend(empty_row)
-            continue
-        try:
-            row = certificate.__dict__.get(row_key, _MISSING)
-        except AttributeError:  # no __dict__ (e.g. slotted foreign object)
-            row = _extract_row(certificate, certificate_type, fields)
-        else:
-            if row is _MISSING:
-                row = _extract_row(certificate, certificate_type, fields)
-                certificate.__dict__[row_key] = row
-        if row is None:
-            unrepresentable[i] = True
-            extend(empty_row)
-            continue
-        present[i] = True
-        extend(row)
-    matrix = np.array(flat, dtype=np.int64).reshape(n, width)
+    labels = ctx.labels
+    tracer = current_tracer()
+    # streamed: the Python-object staging list only ever holds one chunk of
+    # rows — at n = 10^6 an unchunked flat list of per-field int objects
+    # (n * width of them) dominated peak RSS; the compiled matrix itself is
+    # a single dense int64 allocation either way
+    matrix = np.empty((n, width), dtype=np.int64)
+    for start in range(0, n, COMPILE_CHUNK):
+        stop = min(start + COMPILE_CHUNK, n)
+        with tracer.span("compile/chunk") as sp:
+            if sp:
+                sp.set(stage="certificates", start=start, stop=stop)
+            flat: list[int] = []
+            extend = flat.extend
+            for i in range(start, stop):
+                certificate = get(labels[i])
+                if certificate is None:
+                    extend(empty_row)
+                    continue
+                try:
+                    row = certificate.__dict__.get(row_key, _MISSING)
+                except AttributeError:  # no __dict__ (e.g. slotted foreign object)
+                    row = _extract_row(certificate, certificate_type, fields)
+                else:
+                    if row is _MISSING:
+                        row = _extract_row(certificate, certificate_type, fields)
+                        certificate.__dict__[row_key] = row
+                if row is None:
+                    unrepresentable[i] = True
+                    extend(empty_row)
+                    continue
+                present[i] = True
+                extend(row)
+            matrix[start:stop] = np.array(flat, dtype=np.int64).reshape(
+                stop - start, width)
     columns: dict[str, Any] = {}
     isnone: dict[str, Any] = {}
     for j, spec in enumerate(fields):
@@ -620,49 +642,76 @@ def _compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
                                 for spec in sublist_fields))
     unrepresentable = bytearray(n)
     counts = [0] * n
-    flat: list[int] = []
-    extend = flat.extend
-    sub_counts: list[int] = []
-    sub_counts_extend = sub_counts.extend
-    sub_flat: list[int] = []
-    sub_extend = sub_flat.extend
-    uids: list[int] = []
-    uids_append = uids.append
+    # streamed like _compile_certificates: the variable-width value stream
+    # is staged in per-chunk Python lists, flushed to int64 blocks every
+    # COMPILE_CHUNK nodes, and concatenated once at the end — total entries
+    # are unknown up front, so blocks replace the preallocated matrix
+    flat_blocks: list[Any] = []
+    sub_count_blocks: list[Any] = []
+    sub_blocks: list[Any] = []
+    uid_blocks: list[Any] = []
     uid_of: dict[Any, int] = {}
     uid_setdefault = uid_of.setdefault
     get = certificates.get
-    for i, label in enumerate(ctx.labels):
-        certificate = get(label)
-        if type(certificate) is not certificate_type:
-            continue  # absent/foreign holder: the node table owns the verdict
-        try:
-            rows = certificate.__dict__.get(rows_key, _MISSING)
-        except AttributeError:  # pragma: no cover - frozen dataclasses have __dict__
-            rows = _extract_list_rows(certificate, list_name, entry_types, fields,
-                                      sublist, sublist_fields, sublist_max_len)
-        else:
-            if rows is _MISSING:
-                rows = _extract_list_rows(certificate, list_name, entry_types, fields,
-                                          sublist, sublist_fields, sublist_max_len)
-                certificate.__dict__[rows_key] = rows
-        if rows is None:
-            unrepresentable[i] = True
-            continue
-        # the memoised payload is pre-flattened (see _extract_list_rows), so
-        # per-trial assembly is a handful of extends per certificate — this
-        # loop is the per-trial cost of the backend on certificate-heavy
-        # schemes, and a per-row loop here dominated whole-kernel profiles
-        count, flat_fields, entry_sub_counts, flat_subs, contents = rows
-        counts[i] = count
-        extend(flat_fields)
-        if sublist is not None:
-            sub_counts_extend(entry_sub_counts)
-            sub_extend(flat_subs)
-        if assign_uids:
-            for content in contents:
-                uids_append(uid_setdefault(content, len(uid_of)))
+    labels = ctx.labels
+    tracer = current_tracer()
+    for chunk_start in range(0, n, COMPILE_CHUNK):
+        chunk_stop = min(chunk_start + COMPILE_CHUNK, n)
+        with tracer.span("compile/chunk") as sp:
+            if sp:
+                sp.set(stage="edge_lists", start=chunk_start, stop=chunk_stop)
+            flat: list[int] = []
+            extend = flat.extend
+            sub_counts: list[int] = []
+            sub_counts_extend = sub_counts.extend
+            sub_flat: list[int] = []
+            sub_extend = sub_flat.extend
+            uids: list[int] = []
+            uids_append = uids.append
+            for i in range(chunk_start, chunk_stop):
+                certificate = get(labels[i])
+                if type(certificate) is not certificate_type:
+                    continue  # absent/foreign holder: the node table owns the verdict
+                try:
+                    rows = certificate.__dict__.get(rows_key, _MISSING)
+                except AttributeError:  # pragma: no cover - frozen dataclasses have __dict__
+                    rows = _extract_list_rows(certificate, list_name, entry_types,
+                                              fields, sublist, sublist_fields,
+                                              sublist_max_len)
+                else:
+                    if rows is _MISSING:
+                        rows = _extract_list_rows(certificate, list_name,
+                                                  entry_types, fields, sublist,
+                                                  sublist_fields, sublist_max_len)
+                        certificate.__dict__[rows_key] = rows
+                if rows is None:
+                    unrepresentable[i] = True
+                    continue
+                # the memoised payload is pre-flattened (see _extract_list_rows),
+                # so per-trial assembly is a handful of extends per certificate —
+                # this loop is the per-trial cost of the backend on
+                # certificate-heavy schemes, and a per-row loop here dominated
+                # whole-kernel profiles
+                count, flat_fields, entry_sub_counts, flat_subs, contents = rows
+                counts[i] = count
+                extend(flat_fields)
+                if sublist is not None:
+                    sub_counts_extend(entry_sub_counts)
+                    sub_extend(flat_subs)
+                if assign_uids:
+                    for content in contents:
+                        uids_append(uid_setdefault(content, len(uid_of)))
+            if flat:
+                flat_blocks.append(np.array(flat, dtype=np.int64))
+            if sub_counts:
+                sub_count_blocks.append(np.array(sub_counts, dtype=np.int64))
+            if sub_flat:
+                sub_blocks.append(np.array(sub_flat, dtype=np.int64))
+            if uids:
+                uid_blocks.append(np.array(uids, dtype=np.int64))
     width = len(fields)
-    matrix = np.array(flat, dtype=np.int64).reshape(len(flat) // width if width else 0, width)
+    flat_arr = _concat_blocks(flat_blocks)
+    matrix = flat_arr.reshape(len(flat_arr) // width if width else 0, width)
     counts_arr = np.array(counts, dtype=np.int64)
     offsets = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts_arr, out=offsets[1:])
@@ -678,10 +727,11 @@ def _compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
     sub_table = None
     if sublist is not None:
         sub_width = len(sublist_fields)
-        sub_matrix = np.array(sub_flat, dtype=np.int64).reshape(
-            len(sub_flat) // sub_width if sub_width else 0, sub_width)
-        sub_counts_arr = np.array(sub_counts, dtype=np.int64)
-        sub_offsets = np.zeros(len(sub_counts) + 1, dtype=np.int64)
+        sub_flat_arr = _concat_blocks(sub_blocks)
+        sub_matrix = sub_flat_arr.reshape(
+            len(sub_flat_arr) // sub_width if sub_width else 0, sub_width)
+        sub_counts_arr = _concat_blocks(sub_count_blocks)
+        sub_offsets = np.zeros(len(sub_counts_arr) + 1, dtype=np.int64)
         np.cumsum(sub_counts_arr, out=sub_offsets[1:])
         sub_table = IntervalTable(
             offsets=sub_offsets, counts=sub_counts_arr,
@@ -690,8 +740,17 @@ def _compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
     return EdgeListTable(
         offsets=offsets, counts=counts_arr, columns=columns, isnone=isnone,
         unrepresentable=np.frombuffer(unrepresentable, dtype=np.uint8).astype(bool),
-        uids=np.array(uids, dtype=np.int64) if assign_uids else None,
+        uids=_concat_blocks(uid_blocks) if assign_uids else None,
         sub=sub_table)
+
+
+def _concat_blocks(blocks: list) -> Any:
+    """Concatenate per-chunk int64 blocks (empty list -> empty array)."""
+    if not blocks:
+        return np.empty(0, dtype=np.int64)
+    if len(blocks) == 1:
+        return blocks[0]
+    return np.concatenate(blocks)
 
 
 def _extract_list_rows(certificate: Any, list_name: str,

@@ -45,6 +45,7 @@ from repro.core.building_blocks import (
 )
 from repro.vectorized.compiler import (
     HAVE_NUMPY,
+    ID_LIMIT,
     CertificateTable,
     FieldSpec,
     VectorContext,
@@ -73,11 +74,16 @@ __all__ = [
     "builtin_kernels",
 ]
 
-#: field layout of :class:`SpanningTreeLabel` consumed by the tree kernels
+#: field layout of :class:`SpanningTreeLabel` consumed by the tree kernels;
+#: ``root_id`` / ``parent_id`` hold network identifiers and only ever sit in
+#: equality comparisons, so they relax the magnitude bound to
+#: :data:`~repro.vectorized.compiler.ID_LIMIT` — with the default id space of
+#: ``n**2`` the :data:`~repro.vectorized.compiler.INT_LIMIT` bound would send
+#: every node of an n >= ~46000 network through the reference fallback
 SPANNING_TREE_FIELDS = (
     FieldSpec("total"),
-    FieldSpec("root_id"),
-    FieldSpec("parent_id", optional=True),
+    FieldSpec("root_id", limit=ID_LIMIT),
+    FieldSpec("parent_id", optional=True, limit=ID_LIMIT),
     FieldSpec("distance"),
     FieldSpec("subtree_size"),
 )
@@ -86,8 +92,8 @@ SPANNING_TREE_FIELDS = (
 HAMILTONIAN_PATH_FIELDS = (
     FieldSpec("total"),
     FieldSpec("rank"),
-    FieldSpec("root_id"),
-    FieldSpec("parent_id", optional=True),
+    FieldSpec("root_id", limit=ID_LIMIT),
+    FieldSpec("parent_id", optional=True, limit=ID_LIMIT),
 )
 
 

@@ -175,8 +175,9 @@ def _role_field(name: str):
 #: a table makes the shared sub-check work on composite certificates as-is
 NESTED_SPANNING_TREE_FIELDS = (
     FieldSpec("total", getter=_st_field("total")),
-    FieldSpec("root_id", getter=_st_field("root_id")),
-    FieldSpec("parent_id", optional=True, getter=_st_field("parent_id")),
+    FieldSpec("root_id", limit=ID_LIMIT, getter=_st_field("root_id")),
+    FieldSpec("parent_id", optional=True, limit=ID_LIMIT,
+              getter=_st_field("parent_id")),
     FieldSpec("distance", getter=_st_field("distance")),
     FieldSpec("subtree_size", getter=_st_field("subtree_size")),
 )

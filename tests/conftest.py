@@ -2,7 +2,23 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+
+# Several tests fan trial workers defined in test modules out through
+# SimulationEngine.run_trials, whose pool is pinned to the ``spawn`` start
+# method: the child interpreter re-imports the worker's module from scratch,
+# so the tests directory must be importable there.  The parent's sys.path
+# has it (pytest inserts the rootdir), but spawn children only inherit
+# PYTHONPATH — export it once, before any pool starts.
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TESTS_DIR not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        path for path in (_TESTS_DIR, os.environ.get("PYTHONPATH")) if path)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 from repro.graphs.generators import (
     complete_bipartite_graph,

@@ -283,6 +283,18 @@ def _square(value: int) -> int:
     return value * value
 
 
+def _boom(value: int) -> int:
+    if value == 2:
+        raise ValueError(f"worker rejected spec {value}")
+    return value
+
+
+def _worker_pid(_spec) -> int:
+    import os
+
+    return os.getpid()
+
+
 class TestTrialFanOut:
     def test_run_trials_serial(self):
         engine = SimulationEngine(workers=1)
@@ -291,6 +303,34 @@ class TestTrialFanOut:
     def test_run_trials_process_pool(self):
         engine = SimulationEngine(workers=2)
         assert engine.run_trials(_square, [3, 4, 5]) == [9, 16, 25]
+
+    def test_pool_uses_spawned_processes(self):
+        # the spawn pin means workers are fresh interpreters, never the
+        # parent (fork would hand back the parent's numpy/BLAS thread state)
+        import os
+
+        pids = SimulationEngine(workers=2).run_trials(_worker_pid, [0, 1, 2])
+        assert os.getpid() not in pids
+
+    def test_worker_exception_propagates(self):
+        # a failing spec must surface as the worker's exception in the
+        # parent, not hang the pool or silently drop the trial
+        engine = SimulationEngine(workers=2)
+        with pytest.raises(ValueError, match="worker rejected spec 2"):
+            engine.run_trials(_boom, [1, 2, 3])
+
+    def test_more_workers_than_specs(self):
+        engine = SimulationEngine(workers=8)
+        assert engine.run_trials(_square, [2, 3]) == [4, 9]
+
+    def test_single_spec_short_circuits_the_pool(self):
+        # len(specs) <= 1 runs in-process even with workers > 1: the result
+        # must come from this very interpreter, not a spawned one
+        import os
+
+        engine = SimulationEngine(workers=4)
+        assert engine.run_trials(_worker_pid, [0]) == [os.getpid()]
+        assert engine.run_trials(_square, []) == []
 
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):

@@ -73,7 +73,7 @@ class TestTracerBasics:
             assert sp is NULL_SPAN
             sp.set(huge=list(range(10)))
         assert tracer.spans == []
-        assert tracer.metrics.snapshot() == {"counters": {}, "timings": {}}
+        assert tracer.metrics.snapshot() == {"counters": {}, "timings": {}, "gauges": {}}
 
     def test_disabled_events_record_nothing(self):
         tracer = Tracer(enabled=False)
@@ -268,6 +268,10 @@ class TestPooledAggregation:
         serial_results, serial_counters, serial_names = run(1)
         pooled_results, pooled_counters, pooled_names = run(2)
         assert pooled_results == serial_results == [1, 4, 9, 16, 25]
+        # the pool path (and only it) records how many bytes of specs it
+        # shipped to the workers; everything else must aggregate identically
+        assert pooled_counters.pop("bytes_pickled.specs") > 0
+        assert "bytes_pickled.specs" not in serial_counters
         assert pooled_counters == serial_counters
         assert pooled_counters["units"] == len(specs)
         assert pooled_counters["value_total"] == sum(specs)
@@ -310,7 +314,7 @@ class TestDisabledOverhead:
         off_engine = SimulationEngine(seed=11, backend="vectorized")
         off = decisions(off_engine)
         assert current().spans == []
-        assert current().metrics.snapshot() == {"counters": {}, "timings": {}}
+        assert current().metrics.snapshot() == {"counters": {}, "timings": {}, "gauges": {}}
 
         tracer = start_tracing()
         try:
@@ -384,6 +388,25 @@ class TestExporters:
             "unrelated": 9,
         })
         assert table == {("planarity-pls", "no_kernel"): [2, 48]}
+
+    def test_expect_zero_copy_gate(self):
+        report = _load_trace_report()
+        spans = [{"name": "shm_export", "id": 1, "parent": None, "dur": 0.0},
+                 {"name": "shm_attach", "id": 2, "parent": None, "dur": 0.0}]
+        handles = {"metrics": {"counters": {"bytes_shared": 1000,
+                                            "bytes_pickled.specs": 10}}}
+        assert report.check_zero_copy(spans, handles) == []
+        # pickled spec bytes >= shared bytes: the pool shipped arrays
+        arrays = {"metrics": {"counters": {"bytes_shared": 5,
+                                           "bytes_pickled.specs": 10}}}
+        assert any("shipped arrays" in f
+                   for f in report.check_zero_copy(spans, arrays))
+        # no shm spans at all
+        failures = report.check_zero_copy([], handles)
+        assert any("shm_export" in f for f in failures)
+        assert any("shm_attach" in f for f in failures)
+        assert any("bytes_shared" in f
+                   for f in report.check_zero_copy(spans, None))
 
     def test_chrome_trace_and_summary_table(self):
         tracer = self._traced_run()

@@ -1,0 +1,325 @@
+"""Tests for the shared-memory artifact plane (repro.distributed.shm).
+
+Covers the SharedArtifact lifecycle contract (attach/detach/unlink,
+refcounts, no leaked segments after exceptions), the network round trip
+(read-only SharedNetwork semantics, zero-copy context, verification
+equivalence), the compiled-table round trips, and the run_trials handle
+resolution on the serial and pool paths.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.distributed import shm
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.network import Network
+from repro.distributed.registry import default_registry
+from repro.distributed.verifier import run_verification
+from repro.exceptions import GraphError
+from repro.graphs.generators import delaunay_planar_graph, random_tree
+from repro.graphs.graph import Graph
+
+pytestmark = pytest.mark.skipif(not shm.HAVE_SHM,
+                                reason="shared memory unavailable")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave this process's segment registry empty."""
+    before = dict(shm.active_segments())
+    yield
+    leaked = {name: count for name, count in shm.active_segments().items()
+              if name not in before}
+    for name in leaked:  # clean up so one failure doesn't cascade
+        shm.SharedArtifact(name=name, manifest=(), nbytes=0).unlink()
+    assert leaked == {}, f"leaked shared-memory segments: {leaked}"
+
+
+def _planar_network(n: int = 40, seed: int = 1) -> Network:
+    return Network(delaunay_planar_graph(n, seed=seed), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# SharedArtifact lifecycle
+# ---------------------------------------------------------------------------
+class TestArtifactLifecycle:
+    def test_attach_detach_unlink_roundtrip(self):
+        arrays = {"a": np.arange(7, dtype=np.int64),
+                  "b": np.eye(3, dtype=np.int64)}
+        artifact = shm.export_arrays(arrays)
+        assert artifact.refcount == 0
+        views = artifact.attach()
+        assert artifact.refcount == 1
+        assert np.array_equal(views["a"], arrays["a"])
+        assert np.array_equal(views["b"], arrays["b"])
+        assert views["b"].shape == (3, 3)
+        artifact.detach()
+        assert artifact.refcount == 0
+        artifact.unlink()
+        assert shm.active_segments() == {}
+
+    def test_handle_is_small_and_picklable(self):
+        artifact = shm.export_arrays(
+            {"big": np.zeros(100_000, dtype=np.int64)})
+        try:
+            blob = pickle.dumps(artifact)
+            assert len(blob) < 1024  # the point: handles ship, bytes don't
+            clone = pickle.loads(blob)
+            views = clone.attach()
+            assert views["big"].nbytes == 800_000
+            clone.detach()
+        finally:
+            artifact.unlink()
+
+    def test_views_are_read_only(self):
+        artifact = shm.export_arrays({"a": np.arange(4, dtype=np.int64)})
+        try:
+            views = artifact.attach()
+            with pytest.raises(ValueError):
+                views["a"][0] = 99
+            artifact.detach()
+        finally:
+            artifact.unlink()
+
+    def test_refcount_balances_across_nested_attaches(self):
+        artifact = shm.export_arrays({"a": np.arange(4, dtype=np.int64)})
+        try:
+            artifact.attach()
+            artifact.attach()
+            assert artifact.refcount == 2
+            artifact.detach()
+            assert artifact.refcount == 1
+            artifact.detach()
+            assert artifact.refcount == 0
+        finally:
+            artifact.unlink()
+
+    def test_unbalanced_detach_raises(self):
+        artifact = shm.export_arrays({"a": np.arange(4, dtype=np.int64)})
+        try:
+            with pytest.raises(RuntimeError, match="detach without attach"):
+                artifact.detach()
+        finally:
+            artifact.unlink()
+
+    def test_unlink_is_idempotent(self):
+        artifact = shm.export_arrays({"a": np.arange(4, dtype=np.int64)})
+        artifact.unlink()
+        artifact.unlink()  # second call must be a no-op, not an error
+        assert shm.active_segments() == {}
+
+    def test_no_segment_leak_when_consumer_raises(self):
+        artifact = shm.export_arrays({"a": np.arange(4, dtype=np.int64)})
+        try:
+            with pytest.raises(RuntimeError, match="consumer blew up"):
+                views = artifact.attach()
+                try:
+                    assert views["a"][0] == 0
+                    raise RuntimeError("consumer blew up")
+                finally:
+                    artifact.detach()
+            assert artifact.refcount == 0
+        finally:
+            artifact.unlink()
+        assert shm.active_segments() == {}
+
+
+# ---------------------------------------------------------------------------
+# shared networks
+# ---------------------------------------------------------------------------
+class TestSharedNetwork:
+    def test_roundtrip_preserves_topology_and_ids(self):
+        network = _planar_network()
+        engine = SimulationEngine(backend="vectorized")
+        handle = engine.export_shared(network)
+        assert handle is not None
+        try:
+            shared = engine.attach(handle)
+            assert isinstance(shared, Network)
+            assert sorted(shared.nodes()) == sorted(network.nodes())
+            assert shared.size == network.size
+            for node in list(network.nodes())[:10]:
+                assert shared.id_of(node) == network.id_of(node)
+                assert shared.neighbor_ids(node) == network.neighbor_ids(node)
+            assert (shared.graph.number_of_edges()
+                    == network.graph.number_of_edges())
+            assert shared.graph.is_connected()
+            assert isinstance(shared.graph, Graph)
+        finally:
+            handle.unlink()
+
+    def test_shared_network_is_read_only(self):
+        engine = SimulationEngine(backend="vectorized")
+        handle = engine.export_shared(_planar_network())
+        try:
+            shared = engine.attach(handle)
+            with pytest.raises(GraphError, match="read-only"):
+                shared.graph.add_edge("x", "y")
+            with pytest.raises(GraphError, match="read-only"):
+                shared.graph.remove_node(next(iter(shared.nodes())))
+        finally:
+            handle.unlink()
+
+    def test_verification_matches_reference_on_shared_network(self):
+        network = _planar_network(60, seed=3)
+        scheme = default_registry().create("planarity-pls")
+        certificates = scheme.prove(network)
+        engine = SimulationEngine(backend="vectorized")
+        handle = engine.export_shared(network)
+        try:
+            attacher = SimulationEngine(backend="vectorized")
+            shared = attacher.attach(handle)
+            shared_certs = {node: certificates[node]
+                            for node in shared.nodes()}
+            reference = run_verification(scheme, network, certificates)
+            result = attacher.verify(scheme, shared, shared_certs)
+            assert result.decisions == reference.decisions
+            # the attached context was pre-seeded: no recompile, no fallback
+            assert attacher.backend_counters["kernel_calls"] == 1
+            assert attacher.backend_counters["fallback_networks"] == 0
+        finally:
+            handle.unlink()
+
+    def test_export_refuses_non_integer_labels(self):
+        graph = Graph([("a", "b"), ("b", "c")])
+        engine = SimulationEngine(backend="vectorized")
+        assert engine.export_shared(Network(graph, seed=1)) is None
+
+    def test_export_refuses_networks_the_compiler_refuses(self):
+        # single-node networks never get a vector context -> pickle fallback
+        graph = Graph(nodes=[1])
+        engine = SimulationEngine(backend="vectorized")
+        assert engine.export_shared(Network(graph, seed=1)) is None
+
+
+# ---------------------------------------------------------------------------
+# compiled-table round trips
+# ---------------------------------------------------------------------------
+class TestTableRoundTrips:
+    def test_certificate_table(self):
+        from repro.vectorized.compiler import (build_vector_context,
+                                               compile_certificates)
+        from repro.vectorized.kernels import SPANNING_TREE_FIELDS
+
+        network = Network(random_tree(30, seed=2), seed=4)
+        scheme = default_registry().create("tree-pls")
+        certificates = scheme.prove(network)
+        ctx = build_vector_context(network)
+        table = compile_certificates(
+            ctx, certificates, type(next(iter(certificates.values()))),
+            SPANNING_TREE_FIELDS)
+        artifact = shm.export_certificate_table(table)
+        try:
+            clone = shm.attach_certificate_table(artifact)
+            assert np.array_equal(clone.present, table.present)
+            assert np.array_equal(clone.unrepresentable, table.unrepresentable)
+            assert set(clone.columns) == set(table.columns)
+            for name in table.columns:
+                assert np.array_equal(clone.columns[name],
+                                      table.columns[name]), name
+            for name in table.isnone:
+                assert np.array_equal(clone.isnone[name],
+                                      table.isnone[name]), name
+            artifact.detach()
+        finally:
+            artifact.unlink()
+
+    def test_edge_list_table_with_sublist_and_uids(self):
+        from repro.core.planarity_scheme import PlanarityCertificate
+        from repro.vectorized.compiler import (build_vector_context,
+                                               compile_edge_lists)
+        from repro.vectorized.paper_kernels import (EDGE_CERTIFICATE_FIELDS,
+                                                    INTERVAL_ENTRY_FIELDS)
+
+        network = _planar_network(60, seed=7)
+        scheme = default_registry().create("planarity-pls")
+        certificates = scheme.prove(network)
+        ctx = build_vector_context(network)
+        entry_types = tuple({type(entry) for cert in certificates.values()
+                             for entry in cert.edge_certificates})
+        table = compile_edge_lists(
+            ctx, certificates, PlanarityCertificate, "edge_certificates",
+            entry_types, EDGE_CERTIFICATE_FIELDS, sublist="intervals",
+            sublist_fields=INTERVAL_ENTRY_FIELDS, sublist_max_len=64,
+            assign_uids=True)
+        artifact = shm.export_edge_list_table(table)
+        try:
+            clone = shm.attach_edge_list_table(artifact)
+            for name in ("offsets", "counts", "unrepresentable", "uids"):
+                assert np.array_equal(getattr(clone, name),
+                                      getattr(table, name)), name
+            for name in table.columns:
+                assert np.array_equal(clone.columns[name],
+                                      table.columns[name]), name
+            assert table.sub is not None and clone.sub is not None
+            assert np.array_equal(clone.sub.offsets, table.sub.offsets)
+            for name in table.sub.columns:
+                assert np.array_equal(clone.sub.columns[name],
+                                      table.sub.columns[name]), name
+            artifact.detach()
+        finally:
+            artifact.unlink()
+
+
+# ---------------------------------------------------------------------------
+# run_trials handle resolution
+# ---------------------------------------------------------------------------
+def _decisions_trial(spec):
+    scheme_name, network = spec
+    scheme = default_registry().create(scheme_name)
+    certificates = scheme.prove(network)
+    engine = SimulationEngine(backend="vectorized")
+    result = engine.verify(scheme, network, certificates)
+    return (sorted(result.decisions.items(), key=lambda kv: repr(kv[0])),
+            type(network).__name__)
+
+
+class TestHandleResolution:
+    def test_serial_path_resolves_handles(self):
+        network = _planar_network()
+        engine = SimulationEngine(workers=1, backend="vectorized")
+        handle = engine.export_shared(network)
+        try:
+            (resolved,) = engine.run_trials(
+                _decisions_trial, [("planarity-pls", handle)])
+            decisions, network_type = resolved
+            assert network_type == "SharedNetwork"
+            (direct,) = engine.run_trials(
+                _decisions_trial, [("planarity-pls", network)])
+            assert decisions == direct[0]
+        finally:
+            handle.unlink()
+
+    def test_pool_path_resolves_handles_byte_identically(self):
+        network = _planar_network(80, seed=9)
+        engine = SimulationEngine(workers=2, backend="vectorized")
+        handle = engine.export_shared(network)
+        try:
+            pooled = engine.run_trials(
+                _decisions_trial, [("planarity-pls", handle)] * 3)
+            serial = SimulationEngine(workers=1).run_trials(
+                _decisions_trial, [("planarity-pls", network)])
+            for decisions, network_type in pooled:
+                assert network_type == "SharedNetwork"
+                assert decisions == serial[0][0]
+        finally:
+            handle.unlink()
+
+    def test_resolution_recurses_into_containers(self):
+        network = _planar_network()
+        engine = SimulationEngine(backend="vectorized")
+        handle = engine.export_shared(network)
+        try:
+            spec = {"nets": [handle, (handle, 3)], "other": "x"}
+            resolved = shm.resolve_spec(spec)
+            assert resolved["other"] == "x"
+            assert resolved["nets"][0] is resolved["nets"][1][0]
+            assert type(resolved["nets"][0]).__name__ == "SharedNetwork"
+            assert resolved["nets"][1][1] == 3
+        finally:
+            handle.unlink()

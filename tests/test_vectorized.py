@@ -204,6 +204,30 @@ class TestEngineBackendSelection:
         scheme = PathGraphScheme()
         assert_backends_agree(scheme, network, scheme.prove(network))
 
+    def test_large_valid_identifiers_stay_on_the_kernel(self):
+        """Ids above INT_LIMIT but inside ID_LIMIT (the default id space is
+        ``n**2``, which crosses 2^31 at n ~ 46000) must not push id-valued
+        certificate fields (``root_id``/``parent_id``) into the per-node
+        fallback: those columns are equality-only, so they carry the relaxed
+        ID_LIMIT bound."""
+        base = 1 << 40
+        for scheme, graph in [
+            (TreeScheme(), random_tree(12, seed=3)),
+            (PathGraphScheme(), path_graph(8)),
+            (default_registry().create("planarity-pls"),
+             delaunay_planar_graph(24, seed=3)),
+        ]:
+            ids = {node: base + index
+                   for index, node in enumerate(sorted(graph.nodes(), key=repr))}
+            network = Network(graph, ids=ids)
+            certificates = scheme.prove(network)
+            engine = SimulationEngine(backend="vectorized")
+            reference = run_verification(scheme, network, certificates)
+            vectorized = engine.verify(scheme, network, certificates)
+            assert vectorized.decisions == reference.decisions
+            assert engine.backend_counters["fallback_nodes"] == 0, scheme.name
+            assert engine.backend_counters["fallback_networks"] == 0, scheme.name
+
     def test_vector_context_invalidated_by_graph_mutation(self):
         engine = SimulationEngine(backend="vectorized")
         graph = random_tree(10, seed=5)
