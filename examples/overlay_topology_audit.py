@@ -1,29 +1,33 @@
-"""Scenario: audit an overlay/sensor-network topology before running planar-only algorithms.
+"""Scenario: continuously audit a churning overlay before planar-only algorithms.
 
 The paper's motivation (Section 1): many fast distributed algorithms —
 constant-round dominating-set approximation, O(D)-round MST/min-cut — are
 correct only on planar networks, so running them on a non-planar network
 risks wrong outputs or non-termination.  The fix is to *certify* planarity
-once: the operator (or any node during a pre-processing phase) computes
-O(log n)-bit certificates; afterwards a single round of neighbor checks per
-epoch re-validates the topology, and any miswired link makes some node raise
-an alarm.
+once — O(log n)-bit certificates, a single round of neighbor checks per
+epoch — and any miswired link makes some node raise an alarm.
 
-This example simulates that workflow on a street-level wireless mesh
-(a Delaunay-like planar deployment) and on the same mesh after a "long link"
-is patched in by mistake, crossing several streets.
+Real overlays do not sit still between epochs: links flap as routers
+reboot, radio conditions change, and maintenance rewires street segments.
+This example streams that churn through the incremental audit pipeline
+(:class:`~repro.dynamic.incremental.DynamicAuditor`): each edge event is
+absorbed by a local certificate repair plus a radius-1 re-verification,
+costing milliseconds instead of the full re-prove + re-verify of the
+whole mesh — and when a maintenance error patches in a long link that
+crosses several streets, the audit alarms *in the same epoch the link
+lands*, at the routers adjacent to the fault.
 """
 
 from __future__ import annotations
 
 import random
+import time
 
 from repro.analysis.tables import print_table
-from repro.core.planarity_scheme import PlanarityScheme
+from repro.core.planarity_scheme import CotreeEdgeCertificate, PlanarityScheme
 from repro.distributed.network import Network
-from repro.distributed.verifier import run_verification
+from repro.dynamic import DynamicAuditor
 from repro.graphs.generators import delaunay_planar_graph
-from repro.graphs.planarity import is_planar
 
 
 def build_mesh(n: int = 80, seed: int = 7):
@@ -31,66 +35,103 @@ def build_mesh(n: int = 80, seed: int = 7):
     return delaunay_planar_graph(n, seed=seed)
 
 
-def audit(graph, label: str, seed: int = 7) -> dict:
-    """Certify the topology if possible; otherwise report which routers complain."""
-    network = Network(graph, seed=seed)
-    scheme = PlanarityScheme()
-    row = {"topology": label, "n": network.size, "m": graph.number_of_edges()}
-    if is_planar(graph):
-        certificates = scheme.prove(network)
-        result = run_verification(scheme, network, certificates)
-        row.update({
-            "planar": True,
-            "certified": result.accepted,
-            "max_certificate_bits": result.max_certificate_bits,
-            "alarms": len(result.rejecting_nodes),
-        })
-    else:
-        # the operator cannot produce valid certificates; the best it can do is
-        # replay the certificates of the last known-good (planar) configuration
-        twin = graph.copy()
-        rng = random.Random(seed)
-        edges = list(twin.edges())
-        rng.shuffle(edges)
-        for u, v in edges:
-            if is_planar(twin):
-                break
-            twin.remove_edge(u, v)
-            if not twin.is_connected():
-                twin.add_edge(u, v)
-        donor = Network(twin, ids={node: network.id_of(node) for node in twin.nodes()})
-        stale_certificates = scheme.prove(donor)
-        result = run_verification(scheme, network, stale_certificates)
-        row.update({
-            "planar": False,
-            "certified": result.accepted,
-            "max_certificate_bits": result.max_certificate_bits,
-            "alarms": len(result.rejecting_nodes),
-        })
-    return row
+def flappable_links(auditor: DynamicAuditor) -> list[tuple[int, int]]:
+    """Street links whose loss keeps the certified spanning trunk intact."""
+    chords = set()
+    for certificate in auditor.certificates.values():
+        for edge_cert in certificate.edge_certificates:
+            if isinstance(edge_cert, CotreeEdgeCertificate):
+                chords.add(tuple(sorted((edge_cert.a_id, edge_cert.b_id))))
+    return sorted(chords)
 
 
 def main() -> None:
     mesh = build_mesh()
-    rows = [audit(mesh, "street mesh (as deployed)")]
+    network = Network(mesh, seed=7)
+    auditor = DynamicAuditor(network, PlanarityScheme())
 
-    # a maintenance error patches in a long link that crosses the mesh
-    miswired = mesh.copy()
-    nodes = sorted(miswired.nodes())
-    added = 0
+    start = time.perf_counter()
+    auditor.baseline()
+    baseline_seconds = time.perf_counter() - start
+    rows = [{
+        "epoch": "deploy: certify once",
+        "event": "-",
+        "alarms": 0,
+        "repaired": 0,
+        "re-verified": network.size,
+        "ms": round(1e3 * baseline_seconds, 1),
+    }]
+
+    # months of routine churn: links flap, the repair absorbs each event
     rng = random.Random(3)
-    while added < 3:
-        u, v = rng.sample(nodes, 2)
-        if not miswired.has_edge(u, v):
-            miswired.add_edge(u, v)
-            added += 1
-    rows.append(audit(miswired, "street mesh + 3 miswired long links"))
+    links = flappable_links(auditor)
+    node_of = network.node_of
+    churn_seconds = 0.0
+    churn_events = repaired = reverified = 0
+    for _ in range(60):
+        a, b = rng.choice(links)
+        start = time.perf_counter()
+        down = auditor.apply_event("remove_edge", node_of(a), node_of(b))
+        up = auditor.apply_event("add_edge", node_of(a), node_of(b))
+        churn_seconds += time.perf_counter() - start
+        churn_events += 2
+        repaired += down.changed + up.changed
+        reverified += down.redecided + up.redecided
+        assert up.accept_all, "routine churn must never raise an alarm"
+    rows.append({
+        "epoch": "routine churn (120 link flaps)",
+        "event": "link down/up",
+        "alarms": 0,
+        "repaired": repaired,
+        "re-verified": reverified,
+        "ms": round(1e3 * churn_seconds / churn_events, 1),
+    })
 
-    print_table(rows, title="Overlay topology audit (planarity certification)")
+    # a maintenance error patches in a long link crossing several streets
+    ids = sorted(network.ids())
+    while True:
+        a, b = rng.sample(ids, 2)
+        if not mesh.has_edge(node_of(a), node_of(b)):
+            break
+    start = time.perf_counter()
+    fault = auditor.apply_event("add_edge", node_of(a), node_of(b))
+    fault_seconds = time.perf_counter() - start
+    rows.append({
+        "epoch": "maintenance error",
+        "event": f"long link {a}-{b} lands",
+        "alarms": len(fault.alarms),
+        "repaired": fault.changed,
+        "re-verified": fault.redecided,
+        "ms": round(1e3 * fault_seconds, 1),
+    })
+    assert fault.alarms, "the miswired link must alarm the epoch it lands"
+    assert not fault.member
+
+    # operations rolls the link back; the audit recovers without re-proving
+    start = time.perf_counter()
+    fixed = auditor.apply_event("remove_edge", node_of(a), node_of(b))
+    fix_seconds = time.perf_counter() - start
+    rows.append({
+        "epoch": "rollback",
+        "event": f"long link {a}-{b} removed",
+        "alarms": len(fixed.alarms),
+        "repaired": fixed.changed,
+        "re-verified": fixed.redecided,
+        "ms": round(1e3 * fix_seconds, 1),
+    })
+    assert fixed.accept_all
+
+    print_table(rows, title="Dynamic overlay topology audit "
+                            "(incremental planarity certification)")
     print()
-    print("Interpretation: the deployed mesh is certified with a few hundred bits")
-    print("per router; after the miswiring, certification is impossible and the")
-    print("stale certificates trigger alarms at the routers adjacent to the fault.")
+    print("Interpretation: the mesh is certified once at deploy time; after")
+    print("that every link flap costs a local certificate repair plus a")
+    print("radius-1 re-verification of a handful of routers — milliseconds,")
+    print(f"not the {1e3 * baseline_seconds:.0f} ms whole-mesh recompute.")
+    print(f"The miswired long link {a}-{b} is flagged by "
+          f"{len(fault.alarms)} router(s) adjacent to the fault in the very")
+    print("epoch it lands, and removing it restores a clean audit without")
+    print("ever re-certifying from scratch.")
 
 
 if __name__ == "__main__":

@@ -178,6 +178,57 @@ def print_shared_memory(spans: list[dict[str, Any]],
         print(f"  peak_rss={int(peak) / (1 << 20):.1f} MiB")
 
 
+def print_delta(spans: list[dict[str, Any]], metrics: dict[str, Any]) -> None:
+    """The dynamic-overlay ledger: repairs, fallbacks, radius-1 re-decides."""
+    counters = metrics.get("counters", {})
+    repairs = [s for s in spans if s["name"] == "repair"]
+    verifies = [s for s in spans if s["name"] == "radius1_verify"]
+    compiles = [s for s in spans if s["name"] == "delta_compile"]
+    print()
+    print("delta / repair")
+    if not repairs and not verifies and not compiles \
+            and "delta_edges" not in counters:
+        print("  (no dynamic-overlay activity)")
+        return
+    fallbacks = sum(1 for s in repairs
+                    if s.get("attrs", {}).get("fallback"))
+    redecided = sum(int(s.get("attrs", {}).get("nodes", 0)) for s in verifies)
+    print(f"  repairs={len(repairs)} fallbacks={fallbacks} "
+          f"radius1_verifies={len(verifies)} nodes_redecided={redecided} "
+          f"delta_compiles={len(compiles)}")
+    print(f"  counters: delta_edges={int(counters.get('delta_edges', 0))} "
+          f"delta_nodes={int(counters.get('delta_nodes', 0))} "
+          f"repair_fallbacks={int(counters.get('repair_fallbacks', 0))} "
+          f"digest_checks={int(counters.get('digest_checks', 0))} "
+          f"digest_mismatches={int(counters.get('digest_mismatches', 0))}")
+
+
+def check_delta(spans: list[dict[str, Any]],
+                trailer: dict[str, Any] | None) -> list[str]:
+    """Assertions behind ``--expect-delta``: the delta path actually ran,
+    its decisions never diverged from from-scratch, and at least one repair
+    fallback was exercised (so the counter is shown honest, not dead)."""
+    failures: list[str] = []
+    counters = (trailer or {}).get("metrics", {}).get("counters", {})
+    if not any(span["name"] == "radius1_verify" for span in spans):
+        failures.append("delta: no radius1_verify spans recorded")
+    if not any(span["name"] == "repair" for span in spans):
+        failures.append("delta: no repair spans recorded")
+    for counter in ("delta_edges", "delta_nodes"):
+        if int(counters.get(counter, 0)) <= 0:
+            failures.append(f"delta: {counter} counter is zero")
+    if int(counters.get("repair_fallbacks", 0)) < 1:
+        failures.append("delta: no repair fallback was exercised — the "
+                        "counter cannot be shown honest")
+    if int(counters.get("digest_checks", 0)) < 1:
+        failures.append("delta: no from-scratch digest comparison ran")
+    mismatches = int(counters.get("digest_mismatches", 0))
+    if mismatches:
+        failures.append(f"delta: {mismatches} decision digest mismatches "
+                        "between the delta path and from-scratch")
+    return failures
+
+
 def check_zero_copy(spans: list[dict[str, Any]],
                     trailer: dict[str, Any] | None) -> list[str]:
     """Assertions behind ``--expect-zero-copy``: handles shipped, not arrays."""
@@ -199,7 +250,7 @@ def check_zero_copy(spans: list[dict[str, Any]],
 
 
 def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None,
-          expect_zero_copy: bool = False) -> int:
+          expect_zero_copy: bool = False, expect_delta: bool = False) -> int:
     """CI integrity assertions; returns a process exit status."""
     failures: list[str] = []
     if trailer is None:
@@ -221,6 +272,8 @@ def check(spans: list[dict[str, Any]], trailer: dict[str, Any] | None,
         failures.append(f"{dangling} spans reference missing parents")
     if expect_zero_copy:
         failures.extend(check_zero_copy(spans, trailer))
+    if expect_delta:
+        failures.extend(check_delta(spans, trailer))
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
@@ -242,11 +295,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --check: also assert shm_export/shm_attach "
                              "spans exist and pickled spec bytes stayed below "
                              "shared bytes")
+    parser.add_argument("--expect-delta", action="store_true",
+                        help="with --check: also assert the dynamic delta "
+                             "path ran with zero decision divergence and at "
+                             "least one exercised repair fallback")
     args = parser.parse_args(argv)
 
     spans, trailer = load_span_log(args.span_log)
     if args.check:
-        return check(spans, trailer, expect_zero_copy=args.expect_zero_copy)
+        return check(spans, trailer, expect_zero_copy=args.expect_zero_copy,
+                     expect_delta=args.expect_delta)
 
     rows = aggregate(spans)
     print_top_phases(rows, args.top)
@@ -255,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     print_fallbacks(counters)
     print_kernel_stats(spans, rows)
     print_shared_memory(spans, metrics)
+    print_delta(spans, metrics)
     if trailer is not None:
         print()
         print(f"trailer: spans={trailer.get('spans')} "

@@ -95,7 +95,7 @@ from repro.distributed.views import (
     materialize_structures,
     structure_at,
 )
-from repro.graphs.graph import Graph, Node
+from repro.graphs.graph import Graph, Node, PATCH_DELTA_LIMIT
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import current as current_tracer
 
@@ -328,7 +328,10 @@ class SimulationEngine:
         The structural views, prover artifacts, and size statistics are all
         functions of the network's topology; a mutation of the underlying
         graph (detected through the same counter that guards
-        :meth:`Graph.indexed`) makes every one of them stale at once.
+        :meth:`Graph.indexed`) makes them stale at once.  For a small batch
+        of edge-only deltas the expensive caches are *patched* rather than
+        dropped (:meth:`_delta_invalidate`); everything else falls back to
+        the wholesale drop.
         """
         key = id(network)
         if key not in self._finalizers:
@@ -336,10 +339,82 @@ class SimulationEngine:
                 self._drop_network(key)
             self._finalizers[key] = weakref.ref(network, _evict)
         version = network.graph._version
-        if self._versions.get(key, version) != version:
+        old = self._versions.get(key, version)
+        if old != version and not self._delta_invalidate(key, network, old):
             self._drop_network(key, keep_tracking=True)
         self._versions[key] = version
         return key
+
+    def _delta_invalidate(self, key: int, network: Network,
+                          old_version: int) -> bool:
+        """Patch the per-network caches through a batch of edge deltas.
+
+        The caches divide into two classes.  *Topology-shaped* artifacts —
+        the radius-1 structure list and the compiled
+        :class:`~repro.vectorized.compiler.VectorContext` — are patched in
+        place for the delta endpoints only (the radius-1 structure of a node
+        depends on nothing beyond its own adjacency, and the context patch
+        rides on the CSR patch of :meth:`IndexedGraph.patched
+        <repro.graphs.indexed.IndexedGraph.patched>`), byte-identical to a
+        from-scratch rebuild.  *Assignment-shaped* artifacts — honest
+        certificates, size statistics, fingerprints, dMAM compilations,
+        deeper-radius structures — have no bounded delta form and are
+        evicted exactly as the wholesale path would.
+
+        Returns ``False`` when the journal cannot vouch for the mutation
+        (truncated, node operations, or more than
+        :data:`~repro.graphs.graph.PATCH_DELTA_LIMIT` deltas) — the caller
+        then drops everything, which is always safe.
+        """
+        deltas = network.graph.deltas_since(old_version)
+        if not deltas or len(deltas) > PATCH_DELTA_LIMIT or \
+                not all(delta.is_edge_op for delta in deltas):
+            return False
+        tracer = current_tracer()
+        with tracer.span("delta_compile") as sp:
+            touched: set[Node] = set()
+            for delta in deltas:
+                touched.add(delta.u)
+                touched.add(delta.v)
+            per_radius = self._structures.get(key)
+            if per_radius is not None:
+                index_of = network.graph.indexed().index_of
+                for radius in list(per_radius):
+                    if radius != 1:
+                        del per_radius[radius]  # no bounded delta form
+                        continue
+                    cached = per_radius[1]
+                    for node in touched:
+                        i = index_of.get(node)
+                        if i is None or i >= len(cached):
+                            return False
+                        cached[i] = structure_at(network, node, 1)
+            ctx = self._vector_contexts.get(key)
+            if ctx is not None:
+                from repro.dynamic.tables import patch_vector_context
+
+                self._vector_contexts[key] = patch_vector_context(ctx, network)
+            elif key in self._vector_contexts:
+                # a cached refusal may no longer hold (e.g. an isolated
+                # node gained an edge): recompile on next request
+                del self._vector_contexts[key]
+            # assignment-shaped caches are certificate-dependent: evict
+            self._prover_cache.pop(key, None)
+            self._stats_cache.pop(key, None)
+            self._first_turns.pop(key, None)
+            self._dmam_compiled.pop(key, None)
+            self._fingerprints.pop(key, None)
+            if self._batched_contexts:
+                for batch_key in [k for k in self._batched_contexts
+                                  if key in k]:
+                    del self._batched_contexts[batch_key]
+            if sp:
+                sp.set(nodes=network.size, deltas=len(deltas),
+                       touched=len(touched))
+        if tracer.enabled:
+            tracer.metrics.count("delta_edges", len(deltas))
+            tracer.metrics.count("delta_nodes", len(touched))
+        return True
 
     def network_for(self, graph: Graph, seed: int | None = None,
                     ids: dict[Node, int] | None = None) -> Network:
@@ -512,6 +587,40 @@ class SimulationEngine:
         if not shm.HAVE_SHM:
             return None
         return shm.export_network(ctx)
+
+    def export_assignment(self, network: Network,
+                          scheme: ProofLabelingScheme,
+                          certificates: dict) -> Any | None:
+        """Compile ``certificates``'s tables once and share them with workers.
+
+        The returned
+        :class:`~repro.distributed.shm.SharedAssignmentHandle` rides in
+        :meth:`run_trials` specs wherever the plain certificate dict would
+        go; workers resolve it to a
+        :class:`~repro.distributed.shm.PrecompiledAssignment` whose compiled
+        struct-of-arrays tables short-circuit ``compile_certificates`` /
+        ``compile_edge_lists`` — the per-trial compile cost is paid exactly
+        once, in this process.  The tables bind to ``network``'s compiled
+        layout, so the spec must pair the handle with that same network
+        (shared or not).  The caller owns the segments and must call
+        ``handle.unlink()`` when done.
+
+        Returns ``None`` when any prerequisite is missing — no vectorized
+        kernel for ``scheme``, the kernel predates the ``table_specs`` hook,
+        the compiler refuses the network, or shared memory is unavailable —
+        and callers ship the bare dict through the established pickle path.
+        """
+        kernel = self._kernel_for(scheme)
+        if kernel is None or not hasattr(kernel, "table_specs"):
+            return None
+        ctx = self._vector_context(network)
+        if ctx is None:
+            return None
+        try:
+            from repro.distributed import shm
+        except ImportError:  # pragma: no cover - minimal installs
+            return None
+        return shm.export_assignment(ctx, kernel, certificates)
 
     def attach(self, handle: Any) -> Network:
         """Attach to an exported network and pre-seed this engine's caches.

@@ -32,6 +32,11 @@ Three layers:
   :class:`~repro.vectorized.compiler.CertificateTable` /
   :class:`~repro.vectorized.compiler.EdgeListTable` (with its nested
   :class:`~repro.vectorized.compiler.IntervalTable`) columns into a segment.
+* :func:`export_assignment` / :func:`attach_assignment` — a
+  :class:`SharedAssignmentHandle` pairing a certificate assignment with its
+  compiled tables (declared by the kernel's ``table_specs()`` hook).
+  Workers resolve it to a :class:`PrecompiledAssignment`, whose tables the
+  compiler's duck-hook serves instead of recompiling per trial.
 
 Lifecycle contract (see docs/ARCHITECTURE.md for the narrative version):
 
@@ -62,6 +67,8 @@ compiler (n < 2, isolated nodes,       share); pickle fallback
 oversized ids)
 non-integer node labels                ``None`` (labels cannot be shared
                                        as an int64 column); pickle fallback
+kernel without a ``table_specs()``     ``export_assignment`` returns
+hook (or no kernel for the scheme)     ``None``; ship the bare dict
 handle inside a ``run_trials`` spec    resolved transparently (serial and
                                        pool paths both attach)
 =====================================  =========================
@@ -101,6 +108,10 @@ __all__ = [
     "export_arrays",
     "export_network",
     "attach_network",
+    "PrecompiledAssignment",
+    "SharedAssignmentHandle",
+    "export_assignment",
+    "attach_assignment",
     "attached_context",
     "export_certificate_table",
     "attach_certificate_table",
@@ -397,7 +408,11 @@ def attached_context(handle: SharedNetworkHandle) -> Any:
 
 
 def resolve_spec(spec: Any) -> Any:
-    """Replace every :class:`SharedNetworkHandle` in ``spec`` by its network.
+    """Resolve every shared handle in ``spec`` into its live artifact.
+
+    :class:`SharedNetworkHandle` becomes an attached read-only network and
+    :class:`SharedAssignmentHandle` a :class:`PrecompiledAssignment` whose
+    compiled tables short-circuit the per-trial compile.
 
     Recurses through tuples, lists and dict values (the shapes trial specs
     are built from); anything else passes through untouched.  Called by
@@ -406,6 +421,8 @@ def resolve_spec(spec: Any) -> Any:
     """
     if isinstance(spec, SharedNetworkHandle):
         return attach_network(spec)
+    if isinstance(spec, SharedAssignmentHandle):
+        return attach_assignment(spec)
     if isinstance(spec, tuple):
         return tuple(resolve_spec(item) for item in spec)
     if isinstance(spec, list):
@@ -618,3 +635,111 @@ def attach_edge_list_table(artifact: SharedArtifact) -> "EdgeListTable":
         uids=views.get("uids"),
         sub=sub,
     )
+
+
+# ---------------------------------------------------------------------------
+# shared assignments: compiled certificate tables inside run_trials specs
+# ---------------------------------------------------------------------------
+
+class PrecompiledAssignment(dict):
+    """A certificate assignment carrying its compiled tables.
+
+    A plain ``dict`` of per-node certificates, plus a ``precompiled_tables``
+    attribute keyed by the compiler's memo keys
+    (:func:`~repro.vectorized.compiler.node_row_key` /
+    :func:`~repro.vectorized.compiler.list_rows_key`, the latter suffixed
+    ``"|uids"`` when uids were assigned).  ``compile_certificates`` /
+    ``compile_edge_lists`` duck-probe the attribute and return the
+    precompiled table instead of compiling — the only change the kernels
+    need is none at all, since they pass the mapping straight through.
+
+    The tables bind to the network the exporter compiled them against;
+    :func:`resolve_spec` only ever builds one of these from a
+    :class:`SharedAssignmentHandle`, whose contract is that the spec pairs
+    the assignment with that same (shared) network.
+    """
+
+    precompiled_tables: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SharedAssignmentHandle:
+    """Picklable stand-in for a certificate assignment plus its tables.
+
+    ``certificates`` travels by pickle as usual (the reference fallback
+    needs the actual certificate objects); the compiled struct-of-arrays
+    tables travel as shared segments — the part that is both large and
+    expensive to rebuild per worker.  Resolved transparently inside
+    ``run_trials`` specs, like :class:`SharedNetworkHandle`.
+    """
+
+    certificates: dict
+    tables: tuple[tuple[str, str, SharedArtifact], ...]  # (kind, key, artifact)
+
+    def unlink(self) -> None:
+        """Destroy the table segments (creator-side teardown)."""
+        for _kind, _key, artifact in self.tables:
+            artifact.unlink()
+
+
+def export_assignment(ctx: "VectorContext", kernel: Any,
+                      certificates: dict) -> SharedAssignmentHandle | None:
+    """Compile and export the tables ``kernel`` will want for ``certificates``.
+
+    ``kernel`` must expose ``table_specs()`` — a declarative list of the
+    compiles its ``accept_vector`` performs (see
+    :class:`~repro.vectorized.kernels.TreeKernel` for the shape).  Kernels
+    without the hook (or an shm-less host) return ``None`` and the caller
+    ships the bare assignment; the established pickle path applies.
+    """
+    if not HAVE_SHM:
+        return None
+    specs = getattr(kernel, "table_specs", None)
+    if specs is None:
+        return None
+    from repro.vectorized.compiler import (compile_certificates,
+                                           compile_edge_lists, list_rows_key,
+                                           node_row_key)
+
+    tables: list[tuple[str, str, SharedArtifact]] = []
+    for spec in specs():
+        kind = spec["kind"]
+        if kind == "certificate":
+            table = compile_certificates(ctx, certificates,
+                                         spec["certificate_type"],
+                                         spec["fields"])
+            key = node_row_key(spec["certificate_type"], spec["fields"])
+            tables.append((kind, key, export_certificate_table(table)))
+        elif kind == "edge_list":
+            table = compile_edge_lists(
+                ctx, certificates, spec["certificate_type"],
+                spec["list_name"], spec["entry_types"], spec["fields"],
+                sublist=spec.get("sublist"),
+                sublist_fields=spec.get("sublist_fields", ()),
+                sublist_max_len=spec.get("sublist_max_len"),
+                assign_uids=spec.get("assign_uids", False))
+            key = list_rows_key(spec["certificate_type"], spec["list_name"],
+                                spec["entry_types"], spec["fields"],
+                                spec.get("sublist"),
+                                spec.get("sublist_fields", ()),
+                                spec.get("sublist_max_len"))
+            if spec.get("assign_uids", False):
+                key += "|uids"
+            tables.append((kind, key, export_edge_list_table(table)))
+        else:  # pragma: no cover - spec author error
+            raise ValueError(f"unknown table spec kind {kind!r}")
+    return SharedAssignmentHandle(certificates=dict(certificates),
+                                  tables=tuple(tables))
+
+
+def attach_assignment(handle: SharedAssignmentHandle) -> PrecompiledAssignment:
+    """Rebuild the :class:`PrecompiledAssignment` behind ``handle``."""
+    assignment = PrecompiledAssignment(handle.certificates)
+    attached: dict[str, Any] = {}
+    for kind, key, artifact in handle.tables:
+        if kind == "certificate":
+            attached[key] = attach_certificate_table(artifact)
+        else:
+            attached[key] = attach_edge_list_table(artifact)
+    assignment.precompiled_tables = attached
+    return assignment

@@ -16,6 +16,7 @@ not require it.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import GraphError
@@ -23,7 +24,44 @@ from repro.exceptions import GraphError
 Node = Hashable
 Edge = tuple[Node, Node]
 
-__all__ = ["Graph", "Node", "Edge", "edge_key"]
+__all__ = ["Graph", "GraphDelta", "Node", "Edge", "edge_key",
+           "JOURNAL_LIMIT", "PATCH_DELTA_LIMIT"]
+
+#: mutation-journal capacity: one entry per version bump, oldest entries
+#: truncated past this bound.  Consumers that find their base version
+#: truncated (``deltas_since`` returns ``None``) must rebuild from scratch,
+#: so the bound caps journal memory without ever making a delta consumer
+#: incorrect — only slower.
+JOURNAL_LIMIT = 128
+
+#: largest journal suffix :meth:`Graph.indexed` patches through
+#: :meth:`IndexedGraph.patched <repro.graphs.indexed.IndexedGraph.patched>`
+#: instead of recompiling; past this many deltas the splice bookkeeping
+#: approaches the cost of a clean rebuild.
+PATCH_DELTA_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One journalled :class:`Graph` mutation, keyed by the version it produced.
+
+    ``op`` is one of ``"add_node"``, ``"remove_node"``, ``"add_edge"``,
+    ``"remove_edge"``; ``v`` is ``None`` for the node operations.  A
+    ``remove_node`` entry stands for the node *and* every incident edge
+    (they vanish under the same version bump), which is why delta consumers
+    that only patch edge-local state treat node operations as a full-rebuild
+    signal rather than decoding them.
+    """
+
+    version: int
+    op: str
+    u: Node
+    v: Node | None = None
+
+    @property
+    def is_edge_op(self) -> bool:
+        """Whether this delta touches adjacency only (node set unchanged)."""
+        return self.v is not None
 
 
 def edge_key(u: Node, v: Node) -> tuple[Node, Node]:
@@ -61,6 +99,11 @@ class Graph:
         self._adj: dict[Node, set[Node]] = {}
         self._version = 0
         self._indexed_cache: tuple[int, Any] | None = None
+        # Mutation journal: ``_journal[i]`` is the delta that produced
+        # version ``_journal_base + i + 1``; every version bump appends
+        # exactly one entry, so ``deltas_since`` is a pure slice.
+        self._journal: list[GraphDelta] = []
+        self._journal_base = 0
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -71,11 +114,31 @@ class Graph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _journal_append(self, op: str, u: Node, v: Node | None = None) -> None:
+        """Record the delta for the version bump that just happened."""
+        self._journal.append(GraphDelta(self._version, op, u, v))
+        if len(self._journal) > JOURNAL_LIMIT:
+            dropped = self._journal.pop(0)
+            self._journal_base = dropped.version
+
+    def deltas_since(self, version: int) -> tuple[GraphDelta, ...] | None:
+        """Return the journalled deltas after ``version``, oldest first.
+
+        Returns an empty tuple when ``version`` is current, and ``None``
+        when the journal has been truncated past ``version`` (or ``version``
+        is unknown) — the signal that a delta consumer must fall back to a
+        full rebuild.
+        """
+        if version > self._version or version < self._journal_base:
+            return None
+        return tuple(self._journal[version - self._journal_base:])
+
     def add_node(self, node: Node) -> None:
         """Insert ``node`` (a no-op when already present)."""
         if node not in self._adj:
             self._adj[node] = set()
             self._version += 1
+            self._journal_append("add_node", node)
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Insert the undirected edge ``{u, v}``, adding endpoints as needed."""
@@ -88,6 +151,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._version += 1
+        self._journal_append("add_edge", u, v)
 
     def add_edges_from(self, edges: Iterable[Edge]) -> None:
         """Insert every edge of ``edges``."""
@@ -101,6 +165,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._version += 1
+        self._journal_append("remove_edge", u, v)
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
@@ -110,6 +175,7 @@ class Graph:
             self._adj[neighbor].discard(node)
         del self._adj[node]
         self._version += 1
+        self._journal_append("remove_node", node)
 
     # ------------------------------------------------------------------
     # queries
@@ -206,7 +272,14 @@ class Graph:
         cache = self._indexed_cache
         if cache is not None and cache[0] == self._version:
             return cache[1]
-        compiled = IndexedGraph.from_graph(self)
+        compiled = None
+        if cache is not None:
+            deltas = self.deltas_since(cache[0])
+            if (deltas is not None and 0 < len(deltas) <= PATCH_DELTA_LIMIT
+                    and all(d.is_edge_op for d in deltas)):
+                compiled = IndexedGraph.patched(cache[1], self, deltas)
+        if compiled is None:
+            compiled = IndexedGraph.from_graph(self)
         self._indexed_cache = (self._version, compiled)
         return compiled
 

@@ -85,6 +85,68 @@ class IndexedGraph:
             indptr.append(len(indices))
         return cls(labels, indptr, indices, index_of=index_of)
 
+    @classmethod
+    def patched(cls, prev: "IndexedGraph", graph: "Graph",
+                deltas: tuple) -> "IndexedGraph | None":
+        """Recompile only the adjacency blocks touched by edge ``deltas``.
+
+        ``prev`` is the compiled view of an earlier version of ``graph`` and
+        ``deltas`` the edge-only journal suffix separating the two (see
+        :meth:`Graph.deltas_since <repro.graphs.graph.Graph.deltas_since>`).
+        The blocks of the delta endpoints are re-sorted from the current
+        adjacency sets; every other block, and the label numbering, is
+        spliced through unchanged.  The result is a **new** instance whose
+        layout is byte-identical to what :meth:`from_graph` would produce
+        on the mutated graph — same insertion-order labels, same repr-sorted
+        blocks (ties between equal reprs resolve by the same set-iteration
+        order both paths read) — which is what lets downstream table patches
+        claim byte-identity transitively.  Returns ``None`` when the deltas
+        cannot be applied (an endpoint is unknown, or the node set changed),
+        signalling the caller to fall back to a full compile.
+        """
+        adj = graph._adj
+        index_of = prev.index_of
+        labels = prev.labels
+        if len(labels) != len(adj):
+            return None
+        touched: set[int] = set()
+        for delta in deltas:
+            iu = index_of.get(delta.u)
+            iv = index_of.get(delta.v)
+            if iu is None or iv is None:
+                return None
+            touched.add(iu)
+            touched.add(iv)
+        order = sorted(touched)
+        new_blocks = {
+            i: sorted((index_of[nb] for nb in adj[labels[i]]),
+                      key=lambda j: repr(labels[j]))
+            for i in order}
+
+        old_indptr, old_indices = prev.indptr, prev.indices
+        indices: list[int] = []
+        prev_end = 0
+        for i in order:
+            start = old_indptr[i]
+            if start > prev_end:
+                indices.extend(old_indices[prev_end:start])
+            indices.extend(new_blocks[i])
+            prev_end = old_indptr[i + 1]
+        if prev_end < len(old_indices):
+            indices.extend(old_indices[prev_end:])
+
+        indptr = old_indptr[:order[0] + 1]
+        shift = 0
+        for pos, i in enumerate(order):
+            shift += len(new_blocks[i]) - prev.degrees[i]
+            nxt = order[pos + 1] if pos + 1 < len(order) else len(labels)
+            segment = old_indptr[i + 1:nxt + 1]
+            if shift:
+                indptr.extend(x + shift for x in segment)
+            else:
+                indptr.extend(segment)
+        return cls(labels, indptr, indices, index_of=index_of)
+
     def to_graph(self) -> "Graph":
         """Rebuild an equal :class:`Graph` (lossless round-trip)."""
         from repro.graphs.graph import Graph

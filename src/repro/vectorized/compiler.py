@@ -61,6 +61,9 @@ __all__ = [
     "build_batched_context",
     "compile_certificates",
     "compile_edge_lists",
+    "node_row_key",
+    "list_rows_key",
+    "NONE_SENTINEL",
 ]
 
 #: certificate integer fields must lie strictly inside ``(-INT_LIMIT, INT_LIMIT)``
@@ -388,6 +391,54 @@ _MISSING = object()
 NONE_SENTINEL = ID_LIMIT
 
 
+def _fields_key(fields: tuple[FieldSpec, ...]) -> str:
+    return ",".join(spec.name + ("?" if spec.optional else "")
+                    + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
+                    for spec in fields)
+
+
+def node_row_key(certificate_type: type,
+                 fields: tuple[FieldSpec, ...]) -> str:
+    """Memo-key under which a certificate's extracted field row is cached.
+
+    Keyed by certificate type and field layout, not ``id(fields)``: equal
+    (type, layout) pairs share rows safely, a recycled tuple address can
+    never alias a stale entry, and a kernel expecting a different class
+    with a coincidentally equal layout never inherits another kernel's
+    type-check verdict.  Getters cannot be part of the key, so a layout's
+    (name, optional, limit) triples must determine its getters — use fresh
+    field names when a derived field changes meaning.  The incremental
+    table patchers (:mod:`repro.dynamic.tables`) share this key so a
+    delta recompile sees exactly the rows a from-scratch compile would.
+    """
+    return (f"_vectorized_row_{certificate_type.__qualname__}_"
+            + _fields_key(fields))
+
+
+def list_rows_key(certificate_type: type, list_name: str,
+                  entry_types: tuple[type, ...],
+                  fields: tuple[FieldSpec, ...],
+                  sublist: str | None = None,
+                  sublist_fields: tuple[FieldSpec, ...] = (),
+                  sublist_max_len: int | None = None) -> str:
+    """Memo-key for a certificate's pre-flattened edge-list rows.
+
+    Carries the entry types and the sublist spec as well: the same list
+    compiled under a narrower entry-type tuple (or without the nested
+    sub-rows) must not inherit these rows.  Shared with the incremental
+    patchers for the same reason as :func:`node_row_key`.
+    """
+    key = (f"_vectorized_flatlist_{certificate_type.__qualname__}_{list_name}_"
+           + "|".join(t.__qualname__ for t in entry_types) + "_"
+           + _fields_key(fields))
+    if sublist is not None:
+        key += (f"_{sublist}<={sublist_max_len}_"
+                + ",".join(spec.name
+                           + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
+                           for spec in sublist_fields))
+    return key
+
+
 def _extract_row(certificate: Any, certificate_type: type,
                  fields: tuple[FieldSpec, ...]) -> tuple | None:
     """Return the exact field tuple of ``certificate``, or ``None`` if it has
@@ -436,7 +487,21 @@ def compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
     it survives across trials — attack assignments recycle a small pool of
     honest certificates, so steady-state compilation is one dict hit per node
     plus a single bulk array conversion).
+
+    A ``certificates`` mapping carrying a ``precompiled_tables`` attribute
+    (see :class:`~repro.distributed.shm.PrecompiledAssignment`) short-circuits
+    compilation entirely: the table compiled by the exporting process is
+    returned as-is.  The attribute is keyed by the same
+    :func:`node_row_key` the memoisation uses, so a precompiled table is by
+    construction the one this call would have built — provided the caller
+    pairs the assignment with the network it was compiled against, which is
+    the shared-assignment handle's contract.
     """
+    precompiled = getattr(certificates, "precompiled_tables", None)
+    if precompiled is not None:
+        table = precompiled.get(node_row_key(certificate_type, fields))
+        if table is not None:
+            return table
     with current_tracer().span("compile/certificates") as sp:
         if sp:
             sp.set(stage="certificates", nodes=int(ctx.n),
@@ -451,17 +516,7 @@ def _compile_certificates(ctx: VectorContext, certificates: dict[Any, Any],
     n = ctx.n
     width = len(fields)
     empty_row = (0,) * width
-    # keyed by certificate type and field layout, not id(fields): equal
-    # (type, layout) pairs share rows safely, a recycled tuple address can
-    # never alias a stale entry, and a kernel expecting a different class
-    # with a coincidentally equal layout never inherits another kernel's
-    # type-check verdict.  Getters cannot be part of the key, so a layout's
-    # (name, optional, limit) triples must determine its getters — use fresh
-    # field names when a derived field changes meaning.
-    row_key = (f"_vectorized_row_{certificate_type.__qualname__}_"
-               + ",".join(spec.name + ("?" if spec.optional else "")
-                          + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
-                          for spec in fields))
+    row_key = node_row_key(certificate_type, fields)
     present = bytearray(n)
     unrepresentable = bytearray(n)
     get = certificates.get
@@ -607,7 +662,20 @@ def compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
     on ``table.uids`` (equal uid ⟺ equal extracted content).  For the uid to
     coincide with dataclass equality, ``fields`` plus the sublist must cover
     every dataclass field of every entry type.
+
+    As with :func:`compile_certificates`, a ``certificates`` mapping with a
+    ``precompiled_tables`` attribute short-circuits to the table compiled by
+    the exporting process (keyed by :func:`list_rows_key`, suffixed
+    ``"|uids"`` when ``assign_uids`` is requested, since the memo key does
+    not otherwise record it).
     """
+    precompiled = getattr(certificates, "precompiled_tables", None)
+    if precompiled is not None:
+        key = list_rows_key(certificate_type, list_name, entry_types, fields,
+                            sublist, sublist_fields, sublist_max_len)
+        table = precompiled.get((key + "|uids") if assign_uids else key)
+        if table is not None:
+            return table
     with current_tracer().span("compile/edge_lists") as sp:
         if sp:
             sp.set(stage="edge_lists", nodes=int(ctx.n), list=list_name,
@@ -627,19 +695,8 @@ def _compile_edge_lists(ctx: VectorContext, certificates: dict[Any, Any],
                         sublist_max_len: int | None = None,
                         assign_uids: bool = False) -> EdgeListTable:
     n = ctx.n
-    # the key carries the entry types and the sublist spec as well: the same
-    # list compiled under a narrower entry-type tuple (or without the nested
-    # sub-rows) must not inherit these rows
-    rows_key = (f"_vectorized_flatlist_{certificate_type.__qualname__}_{list_name}_"
-                + "|".join(t.__qualname__ for t in entry_types) + "_"
-                + ",".join(spec.name + ("?" if spec.optional else "")
-                           + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
-                           for spec in fields))
-    if sublist is not None:
-        rows_key += (f"_{sublist}<={sublist_max_len}_"
-                     + ",".join(spec.name
-                                + ("" if spec.limit == INT_LIMIT else f"<{spec.limit}")
-                                for spec in sublist_fields))
+    rows_key = list_rows_key(certificate_type, list_name, entry_types, fields,
+                             sublist, sublist_fields, sublist_max_len)
     unrepresentable = bytearray(n)
     counts = [0] * n
     # streamed like _compile_certificates: the variable-width value stream

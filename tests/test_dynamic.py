@@ -1,0 +1,438 @@
+"""Differential tests for the dynamic-network delta path.
+
+Every layer of the incremental pipeline claims byte-identity with its
+from-scratch counterpart; these tests check the claims differentially —
+random mutate/verify interleavings where the patched artifact is compared,
+value for value, against a full rebuild of the mutated world:
+
+* the :class:`Graph` mutation journal and the patched CSR layout,
+* the struct-of-arrays table patchers (node rows and edge lists with
+  interned uids),
+* :class:`DynamicAuditor` decisions against full reference verification,
+  including forced repair-cascade fallbacks, journal truncation, and the
+  miswired-link alarm,
+* :class:`SimulationEngine` delta invalidation against a cold engine.
+"""
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.building_blocks import TreeScheme
+from repro.core.planarity_scheme import CotreeEdgeCertificate, PlanarityScheme
+from repro.distributed.engine import SimulationEngine
+from repro.distributed.network import Network
+from repro.dynamic import DynamicAuditor
+from repro.dynamic.repair import SpanningTreeRepairer, repairer_for
+from repro.graphs.generators import delaunay_planar_graph, random_tree
+from repro.graphs.graph import (Graph, JOURNAL_LIMIT, PATCH_DELTA_LIMIT)
+from repro.graphs.indexed import IndexedGraph
+from repro.observability.tracer import start_tracing, stop_tracing
+
+
+def cotree_pairs(auditor: DynamicAuditor) -> list[tuple[int, int]]:
+    chords = set()
+    for certificate in auditor.certificates.values():
+        for ec in certificate.edge_certificates:
+            if isinstance(ec, CotreeEdgeCertificate):
+                chords.add(tuple(sorted((ec.a_id, ec.b_id))))
+    return sorted(chords)
+
+
+def reference_decisions(auditor: DynamicAuditor) -> dict:
+    """Full from-scratch verification of the auditor's current state."""
+    return auditor._decide(auditor.network.nodes())
+
+
+# ----------------------------------------------------------------------
+# the mutation journal
+# ----------------------------------------------------------------------
+class TestMutationJournal:
+    def test_deltas_recorded_by_version(self):
+        graph = Graph([(0, 1), (1, 2)])
+        version = graph._version
+        graph.add_edge(0, 2)
+        graph.remove_edge(0, 1)
+        deltas = graph.deltas_since(version)
+        assert [(d.op, d.u, d.v) for d in deltas] == [
+            ("add_edge", 0, 2), ("remove_edge", 0, 1)]
+        assert all(d.is_edge_op for d in deltas)
+        assert graph.deltas_since(graph._version) == ()
+
+    def test_node_ops_are_journaled_but_not_edge_ops(self):
+        graph = Graph([(0, 1)])
+        version = graph._version
+        graph.add_node(7)
+        (delta,) = graph.deltas_since(version)
+        assert delta.op == "add_node" and not delta.is_edge_op
+
+    def test_truncation_past_limit_returns_none(self):
+        graph = Graph([(0, 1)])
+        version = graph._version
+        for i in range(JOURNAL_LIMIT + 1):
+            graph.add_edge(0, 2 + i)
+        assert graph.deltas_since(version) is None
+        # recent versions are still answerable
+        recent = graph._version
+        graph.add_edge(1, 2)
+        assert len(graph.deltas_since(recent)) == 1
+
+    def test_future_version_returns_none(self):
+        graph = Graph([(0, 1)])
+        assert graph.deltas_since(graph._version + 1) is None
+
+
+class TestPatchedCSR:
+    def assert_identical(self, graph: Graph):
+        patched = graph.indexed()
+        fresh = IndexedGraph.from_graph(graph)
+        assert patched.labels == fresh.labels
+        assert list(patched.indptr) == list(fresh.indptr)
+        assert list(patched.indices) == list(fresh.indices)
+
+    def test_fuzz_patched_layout_matches_rebuild(self):
+        rng = random.Random(11)
+        graph = delaunay_planar_graph(40, seed=2)
+        graph.indexed()  # seed the cache so mutations take the patch path
+        nodes = sorted(graph.nodes())
+        for _ in range(120):
+            u, v = rng.sample(nodes, 2)
+            if graph.has_edge(u, v):
+                if graph.degree(u) > 1 and graph.degree(v) > 1:
+                    graph.remove_edge(u, v)
+            else:
+                graph.add_edge(u, v)
+            self.assert_identical(graph)
+
+    def test_patch_shares_label_identity(self):
+        graph = delaunay_planar_graph(30, seed=4)
+        before = graph.indexed()
+        graph.add_edge(0, 17) if not graph.has_edge(0, 17) else None
+        after = graph.indexed()
+        if after is not before:  # patched, not rebuilt
+            assert after.labels is before.labels
+
+    def test_large_delta_batch_rebuilds(self):
+        graph = delaunay_planar_graph(40, seed=5)
+        graph.indexed()
+        nodes = sorted(graph.nodes())
+        rng = random.Random(3)
+        for _ in range(PATCH_DELTA_LIMIT + 5):
+            u, v = rng.sample(nodes, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        self.assert_identical(graph)
+
+
+# ----------------------------------------------------------------------
+# table patchers
+# ----------------------------------------------------------------------
+class TestTablePatchers:
+    np = pytest.importorskip("numpy")
+
+    def _mutate_assignment(self, rng, certificates, donor):
+        """Knock a few certificates around: drop, None, swap with a donor."""
+        keys = rng.sample(sorted(certificates, key=repr), 6)
+        dirty = []
+        for key in keys:
+            roll = rng.random()
+            if roll < 0.3:
+                certificates.pop(key, None)
+            elif roll < 0.5:
+                certificates[key] = None
+            else:
+                certificates[key] = donor[rng.choice(sorted(donor, key=repr))]
+            dirty.append(key)
+        return dirty
+
+    def test_node_table_patch_matches_scratch(self):
+        np = self.np
+        from repro.vectorized.compiler import (build_vector_context,
+                                               compile_certificates)
+        from repro.vectorized.kernels import SPANNING_TREE_FIELDS
+        from repro.core.building_blocks import SpanningTreeLabel
+        from repro.dynamic.tables import patch_certificate_table
+
+        network = Network(random_tree(60, seed=5))
+        ctx = build_vector_context(network)
+        scheme = TreeScheme()
+        certificates = dict(scheme.prove(network))
+        donor = scheme.prove(Network(random_tree(60, seed=6)))
+        rng = random.Random(0)
+        table = compile_certificates(ctx, certificates, SpanningTreeLabel,
+                                     SPANNING_TREE_FIELDS)
+        for _ in range(20):
+            dirty = self._mutate_assignment(rng, certificates, donor)
+            indices = [ctx.labels.index(k) for k in dirty]
+            table = patch_certificate_table(ctx, table, certificates,
+                                            SpanningTreeLabel,
+                                            SPANNING_TREE_FIELDS, indices)
+            scratch = compile_certificates(ctx, dict(certificates),
+                                           SpanningTreeLabel,
+                                           SPANNING_TREE_FIELDS)
+            assert np.array_equal(table.present, scratch.present)
+            assert np.array_equal(table.unrepresentable,
+                                  scratch.unrepresentable)
+            for name, column in scratch.columns.items():
+                assert np.array_equal(table.columns[name], column), name
+            for name, mask in scratch.isnone.items():
+                assert np.array_equal(table.isnone[name], mask), name
+
+    def test_edge_list_patch_matches_scratch(self):
+        np = self.np
+        from repro.vectorized.compiler import (build_vector_context,
+                                               compile_edge_lists)
+        from repro.vectorized.paper_kernels import (
+            EDGE_CERTIFICATE_FIELDS, INTERVAL_ENTRY_FIELDS,
+            MAX_INTERVAL_ENTRIES_PER_CERTIFICATE)
+        from repro.core.planarity_scheme import (PlanarityCertificate,
+                                                 TreeEdgeCertificate)
+        from repro.dynamic.tables import patch_edge_list_table
+
+        network = Network(delaunay_planar_graph(50, seed=3))
+        ctx = build_vector_context(network)
+        scheme = PlanarityScheme()
+        certificates = dict(scheme.prove(network))
+        donor = scheme.prove(Network(delaunay_planar_graph(50, seed=8)))
+        rng = random.Random(1)
+
+        def compile_scratch(assignment):
+            return compile_edge_lists(
+                ctx, assignment, PlanarityCertificate, "edge_certificates",
+                (TreeEdgeCertificate, CotreeEdgeCertificate),
+                EDGE_CERTIFICATE_FIELDS, sublist="intervals",
+                sublist_fields=INTERVAL_ENTRY_FIELDS,
+                sublist_max_len=MAX_INTERVAL_ENTRIES_PER_CERTIFICATE,
+                assign_uids=True)
+
+        table = compile_scratch(certificates)
+        for _ in range(15):
+            dirty = self._mutate_assignment(rng, certificates, donor)
+            indices = [ctx.labels.index(k) for k in dirty]
+            table = patch_edge_list_table(
+                ctx, table, certificates, PlanarityCertificate,
+                "edge_certificates",
+                (TreeEdgeCertificate, CotreeEdgeCertificate),
+                EDGE_CERTIFICATE_FIELDS, indices, sublist="intervals",
+                sublist_fields=INTERVAL_ENTRY_FIELDS,
+                sublist_max_len=MAX_INTERVAL_ENTRIES_PER_CERTIFICATE)
+            scratch = compile_scratch(dict(certificates))
+            assert np.array_equal(table.offsets, scratch.offsets)
+            assert np.array_equal(table.counts, scratch.counts)
+            assert np.array_equal(table.unrepresentable,
+                                  scratch.unrepresentable)
+            assert np.array_equal(table.uids, scratch.uids)
+            for name, column in scratch.columns.items():
+                assert np.array_equal(table.columns[name], column), name
+            for name, mask in scratch.isnone.items():
+                assert np.array_equal(table.isnone[name], mask), name
+            assert np.array_equal(table.sub.offsets, scratch.sub.offsets)
+            assert np.array_equal(table.sub.counts, scratch.sub.counts)
+            for name, column in scratch.sub.columns.items():
+                assert np.array_equal(table.sub.columns[name], column), name
+
+
+# ----------------------------------------------------------------------
+# the dynamic auditor
+# ----------------------------------------------------------------------
+class TestDynamicAuditorPlanarity:
+    def test_churn_decisions_match_reference(self):
+        network = Network(delaunay_planar_graph(60, seed=3))
+        auditor = DynamicAuditor(network, PlanarityScheme())
+        auditor.baseline()
+        rng = random.Random(7)
+        chords = cotree_pairs(auditor)
+        for _ in range(25):
+            a, b = rng.choice(chords)
+            u, v = network.node_of(a), network.node_of(b)
+            auditor.apply_event("remove_edge", u, v)
+            report = auditor.apply_event("add_edge", u, v)
+            assert report.member
+            assert auditor.decisions == reference_decisions(auditor)
+            if report.fallback:
+                chords = cotree_pairs(auditor)
+        assert auditor.accepts_all
+
+    def test_tree_edge_removal_falls_back_counted(self):
+        network = Network(delaunay_planar_graph(40, seed=2))
+        auditor = DynamicAuditor(network, PlanarityScheme())
+        auditor.baseline()
+        chords = set(cotree_pairs(auditor))
+        trunk = next(e for e in
+                     (tuple(sorted((network.id_of(u), network.id_of(v))))
+                      for u, v in network.graph.edges())
+                     if e not in chords)
+        u, v = network.node_of(trunk[0]), network.node_of(trunk[1])
+        report = auditor.apply_event("remove_edge", u, v)
+        assert report.fallback and report.reason == "tree_edge_removed"
+        assert auditor.fallbacks == 1
+        assert auditor.decisions == reference_decisions(auditor)
+        assert auditor.accepts_all
+
+    def test_miswired_link_alarms_immediately_and_recovers(self):
+        network = Network(delaunay_planar_graph(60, seed=3))
+        auditor = DynamicAuditor(network, PlanarityScheme())
+        auditor.baseline()
+        ids = sorted(network.ids())
+        graph = network.graph
+        rng = random.Random(5)
+        while True:
+            a, b = rng.sample(ids, 2)
+            if not graph.has_edge(network.node_of(a), network.node_of(b)):
+                break
+        landed = auditor.apply_event("add_edge", network.node_of(a),
+                                     network.node_of(b))
+        assert not landed.member
+        assert landed.alarms  # the audit flags the link the epoch it lands
+        assert auditor.decisions == reference_decisions(auditor)
+        report = auditor.apply_event("remove_edge", network.node_of(a),
+                                     network.node_of(b))
+        assert report.accept_all and not report.alarms
+        assert auditor.decisions == reference_decisions(auditor)
+
+    def test_journal_truncation_re_decides_everything(self):
+        network = Network(delaunay_planar_graph(40, seed=6))
+        auditor = DynamicAuditor(network, PlanarityScheme())
+        auditor.baseline()
+        graph = network.graph
+        chords = cotree_pairs(auditor)
+        a, b = chords[0]
+        u, v = network.node_of(a), network.node_of(b)
+        # age the journal far past the limit without a net change
+        for _ in range(JOURNAL_LIMIT):
+            graph.remove_edge(u, v)
+            graph.add_edge(u, v)
+        report = auditor.apply_event("remove_edge", u, v)
+        assert report.fallback and report.reason == "journal_truncated"
+        assert report.redecided == network.size
+        assert auditor.decisions == reference_decisions(auditor)
+
+
+class TestDynamicAuditorTree:
+    def test_batched_swaps_match_reference(self):
+        network = Network(random_tree(80, seed=5))
+        auditor = DynamicAuditor(network, TreeScheme())
+        auditor.baseline()
+        graph = network.graph
+        adj = graph._adj
+        rng = random.Random(9)
+        swaps = fallbacks = 0
+        while swaps < 20:
+            leaf = rng.choice([n for n in adj if len(adj[n]) == 1
+                               and auditor.certificates[n].subtree_size == 1])
+            parent = next(iter(adj[leaf]))
+            anchors = [w for w in adj[parent] if w != leaf]
+            if not anchors:
+                continue
+            report = auditor.apply_events([
+                ("remove_edge", leaf, parent),
+                ("add_edge", leaf, rng.choice(anchors))])
+            assert report.member and report.accept_all
+            fallbacks += report.fallback
+            assert auditor.decisions == reference_decisions(auditor)
+            swaps += 1
+        assert fallbacks == 0  # leaf swaps never cascade
+
+    def test_deep_swap_cascades_to_counted_fallback(self):
+        # swapping the root's heavy child re-roots more than half the tree:
+        # the repairer must detect the cascade and fall back, counted
+        network = Network(random_tree(80, seed=5))
+        auditor = DynamicAuditor(network, TreeScheme())
+        auditor.baseline()
+        certificates = auditor.certificates
+        root = next(n for n in certificates
+                    if certificates[n].parent_id is None)
+        adj = network.graph._adj
+        heavy = max(adj[root], key=lambda n: certificates[n].subtree_size)
+        anchor = next(w for w in adj[heavy] if w != root)
+        report = auditor.apply_events([("remove_edge", heavy, root),
+                                       ("add_edge", root, anchor)])
+        assert report.member
+        assert report.fallback and report.reason == "cascade"
+        assert auditor.fallbacks == 1
+        assert auditor.decisions == reference_decisions(auditor)
+
+    def test_split_swap_leaves_class_then_alarm_clears(self):
+        # the same swap split across two calls passes through a non-tree
+        # state: the first half must alarm, the second must recover
+        network = Network(random_tree(30, seed=1))
+        auditor = DynamicAuditor(network, TreeScheme())
+        auditor.baseline()
+        adj = network.graph._adj
+        leaf = next(n for n in adj if len(adj[n]) == 1
+                    and auditor.certificates[n].subtree_size == 1)
+        parent = next(iter(adj[leaf]))
+        half = auditor.apply_event("remove_edge", leaf, parent)
+        assert not half.member
+        assert auditor.decisions == reference_decisions(auditor)
+        restore = auditor.apply_event("add_edge", leaf, parent)
+        assert restore.member
+        assert auditor.decisions == reference_decisions(auditor)
+        assert auditor.accepts_all
+
+    def test_repairer_registry(self):
+        class ForeignScheme:
+            name = "foreign-scheme"
+
+        assert isinstance(repairer_for(TreeScheme()), SpanningTreeRepairer)
+        assert repairer_for(ForeignScheme()) is None
+        with pytest.raises(ValueError):
+            DynamicAuditor(Network(random_tree(10, seed=0)), ForeignScheme())
+
+
+# ----------------------------------------------------------------------
+# engine delta invalidation
+# ----------------------------------------------------------------------
+class TestEngineDeltaInvalidation:
+    pytest.importorskip("numpy")
+
+    def test_warm_engine_matches_cold_under_churn(self):
+        network = Network(delaunay_planar_graph(60, seed=3))
+        scheme = PlanarityScheme()
+        auditor = DynamicAuditor(network, scheme)
+        auditor.baseline()
+        warm = SimulationEngine(backend="vectorized")
+        warm.verify(scheme, network, auditor.certificates)
+        rng = random.Random(2)
+        chords = cotree_pairs(auditor)
+        tracer = start_tracing()
+        try:
+            for _ in range(8):
+                a, b = rng.choice(chords)
+                u, v = network.node_of(a), network.node_of(b)
+                auditor.apply_event("remove_edge", u, v)
+                auditor.apply_event("add_edge", u, v)
+                warm_decisions = warm.verify(
+                    scheme, network, auditor.certificates).decisions
+                cold = SimulationEngine(backend="vectorized")
+                cold_decisions = cold.verify(
+                    scheme, network, auditor.certificates).decisions
+                assert warm_decisions == cold_decisions
+        finally:
+            stop_tracing()
+        compiles = [s for s in tracer.spans if s.name == "delta_compile"]
+        assert compiles, "warm engine never took the delta-invalidate path"
+        counters = tracer.metrics.counters
+        assert counters.get("delta_edges", 0) > 0
+        assert counters.get("delta_nodes", 0) > 0
+
+    def test_oversized_delta_batch_drops_caches(self):
+        network = Network(delaunay_planar_graph(60, seed=4))
+        scheme = PlanarityScheme()
+        certificates = PlanarityScheme().prove(network)
+        engine = SimulationEngine(backend="vectorized")
+        baseline = engine.verify(scheme, network, certificates).decisions
+        graph = network.graph
+        nodes = sorted(graph.nodes())
+        rng = random.Random(6)
+        added = []
+        while len(added) <= PATCH_DELTA_LIMIT:
+            u, v = rng.sample(nodes, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                added.append((u, v))
+        for u, v in added:  # restore: decisions must be reproducible
+            graph.remove_edge(u, v)
+        assert engine.verify(scheme, network, certificates).decisions \
+            == baseline

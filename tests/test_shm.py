@@ -323,3 +323,53 @@ class TestHandleResolution:
             assert resolved["nets"][1][1] == 3
         finally:
             handle.unlink()
+
+
+class TestSharedAssignments:
+    def test_round_trip_serves_precompiled_tables(self):
+        from repro.core.planarity_scheme import PlanarityScheme
+        from repro.vectorized.compiler import (compile_certificates,
+                                               node_row_key)
+
+        scheme = PlanarityScheme()
+        network = Network(delaunay_planar_graph(40, seed=7))
+        engine = SimulationEngine(backend="vectorized")
+        certificates = scheme.prove(network)
+        handle = engine.export_assignment(network, scheme, certificates)
+        assert handle is not None
+        try:
+            assignment = shm.resolve_spec(pickle.loads(pickle.dumps(handle)))
+            assert isinstance(assignment, shm.PrecompiledAssignment)
+            assert assignment == dict(certificates)
+            # the compiler duck-hook must serve the attached table verbatim
+            ctx = engine._vector_context(network)
+            kernel = engine._kernel_for(scheme)
+            spec = kernel.table_specs()[0]
+            served = compile_certificates(ctx, assignment,
+                                          spec["certificate_type"],
+                                          spec["fields"])
+            key = node_row_key(spec["certificate_type"], spec["fields"])
+            assert served is assignment.precompiled_tables[key]
+            # end-to-end: identical kernel decisions with and without tables
+            plain = kernel.accept_vector(ctx, scheme, certificates)
+            precompiled = kernel.accept_vector(ctx, scheme, assignment)
+            assert np.array_equal(plain[0], precompiled[0])
+            assert np.array_equal(plain[1], precompiled[1])
+        finally:
+            handle.unlink()
+
+    def test_export_returns_none_without_table_specs(self):
+        from repro.core.building_blocks import TreeScheme
+
+        class LegacyKernel:
+            scheme_name = TreeScheme.name
+
+            def supports(self, scheme):
+                return True
+
+        network = Network(random_tree(20, seed=1))
+        engine = SimulationEngine(backend="vectorized")
+        certificates = TreeScheme().prove(network)
+        assert shm.export_assignment(
+            engine._vector_context(network), LegacyKernel(),
+            certificates) is None
